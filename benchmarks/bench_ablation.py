@@ -1,0 +1,101 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each ablation disables one ingredient of the full system and measures
+the factorie analog (the workload with the largest PEA win), so the
+contribution of each piece is visible:
+
+- ``full``           : the complete pipeline;
+- ``single_pass``    : PEA applied once instead of twice;
+- ``no_arrays``      : array virtualization off (Section 5.2's virtual
+                       arrays);
+- ``no_check_folds`` : no compile-time folding of reference
+                       equality/null/type checks on virtual objects
+                       (the v8-style "very local" restriction the paper
+                       contrasts against);
+- ``no_read_elim``   : no load/store forwarding after EA;
+- ``no_inlining``    : no inlining — the paper stresses that PEA "is
+                       particularly effective if it can interact with
+                       other parts of the compiler, such as inlining";
+- ``no_speculation`` : no profile-driven branch pruning (rare escaping
+                       branches rejoin and force materialization).
+"""
+
+import pytest
+
+from repro.benchsuite.workloads import by_name
+from repro.jit import VM, CompilerConfig
+from repro.lang import compile_source
+
+ABLATIONS = {
+    "full": {},
+    "single_pass": {"pea_iterations": 1},
+    "no_arrays": {"pea_virtualize_arrays": False},
+    "no_check_folds": {"pea_fold_checks": False},
+    "no_read_elim": {"read_elimination": False},
+    "no_inlining": {"inline": False},
+    "no_speculation": {"speculate_branches": False},
+}
+
+_cache = {}
+
+
+def measure(ablation: str):
+    key = ablation
+    if key in _cache:
+        return _cache[key]
+    workload = by_name("factorie")
+    config = CompilerConfig.partial_escape(**ABLATIONS[ablation])
+    program = compile_source(workload.source,
+                             natives=workload.natives or None)
+    vm = VM(program, config)
+    for _ in range(25):
+        vm.call(workload.entry, workload.iteration_size)
+        program.reset_statics()
+    heap_before = vm.heap_snapshot()
+    cycles_before = vm.cycles_snapshot()
+    checksum = vm.call(workload.entry, workload.iteration_size)
+    result = {
+        "checksum": checksum,
+        "allocations": vm.heap_snapshot().delta(heap_before).allocations,
+        "cycles": vm.cycles_snapshot() - cycles_before,
+        "vm": vm,
+        "workload": workload,
+    }
+    _cache[key] = result
+    return result
+
+
+@pytest.mark.parametrize("ablation", sorted(ABLATIONS))
+def test_ablation_iteration(benchmark, ablation):
+    result = measure(ablation)
+    vm, workload = result["vm"], result["workload"]
+    benchmark.group = "ablation:factorie"
+
+    def one_iteration():
+        value = vm.call(workload.entry, workload.iteration_size)
+        vm.program.reset_statics()
+        return value
+
+    benchmark(one_iteration)
+    benchmark.extra_info.update({
+        "ablation": ablation,
+        "allocations_per_iteration": result["allocations"],
+        "sim_cycles_per_iteration": round(result["cycles"]),
+    })
+
+
+def test_ablations_preserve_semantics():
+    checksums = {name: measure(name)["checksum"] for name in ABLATIONS}
+    assert len(set(checksums.values())) == 1, checksums
+
+
+def test_inlining_is_load_bearing():
+    """Without inlining, constructor calls make every receiver escape."""
+    assert measure("no_inlining")["allocations"] > \
+        measure("full")["allocations"]
+
+
+def test_each_ingredient_contributes_or_is_neutral():
+    full = measure("full")["allocations"]
+    for name in ("single_pass", "no_arrays", "no_inlining"):
+        assert measure(name)["allocations"] >= full, name

@@ -1,0 +1,132 @@
+"""Microbenchmarks of the analysis itself: compilation throughput of the
+Partial Escape Analysis phase on the paper's node patterns (Figures 4-7)
+and on the running example.
+
+These measure *compiler* speed (the phase is the paper's "practical
+algorithm" claim), not generated-code speed.
+"""
+
+import pytest
+
+from repro.frontend import build_graph
+from repro.lang import compile_source
+from repro.opt import (CanonicalizerPhase, DeadCodeEliminationPhase,
+                       GlobalValueNumberingPhase, InliningPhase)
+from repro.pea import Effects, PartialEscapePhase, PEAProcessor
+
+PATTERNS = {
+    "fig4_scalar_replacement": """
+        class Pair { int a; int b; }
+        class C { static int m(int x) {
+            Pair p = new Pair();
+            p.a = x; p.b = x * 2;
+            return p.a + p.b;
+        } }
+    """,
+    "fig4_monitors": """
+        class Box { int v; }
+        class C { static int m(int x) {
+            Box b = new Box();
+            synchronized (b) { synchronized (b) { b.v = x; } }
+            return b.v;
+        } }
+    """,
+    "fig5_escaped_store": """
+        class Box { int v; }
+        class C {
+            static Box g;
+            static int m(int x) {
+                Box b = new Box();
+                g = b;
+                b.v = x;
+                return b.v;
+            }
+        }
+    """,
+    "fig6_merge": """
+        class Box { int v; }
+        class C {
+            static Box g;
+            static int m(int x) {
+                Box b = new Box();
+                if (x > 0) { b.v = 1; } else { g = b; }
+                return b.v;
+            }
+        }
+    """,
+    "fig7_loop": """
+        class Acc { int t; }
+        class C { static int m(int n) {
+            Acc a = new Acc();
+            int i = 0;
+            while (i < n) {
+                i = i + 1;
+                if (i % 3 == 0) { continue; }
+                a.t = a.t + i;
+            }
+            return a.t;
+        } }
+    """,
+    "listing4_cache_key": """
+        class Key {
+            int idx; Object ref;
+            Key(int idx, Object ref) { this.idx = idx; this.ref = ref; }
+            synchronized boolean sameAs(Key o) {
+                return idx == o.idx && ref == o.ref;
+            }
+        }
+        class C {
+            static Key cacheKey;
+            static int m(int idx) {
+                Key key = new Key(idx, null);
+                if (cacheKey != null && key.sameAs(cacheKey)) { return 1; }
+                cacheKey = key;
+                return 0;
+            }
+        }
+    """,
+}
+
+
+def prepared_graph(source):
+    program = compile_source(source)
+    graph = build_graph(program, program.method("C.m"))
+    InliningPhase(program).run(graph)
+    CanonicalizerPhase().run(graph)
+    GlobalValueNumberingPhase().run(graph)
+    DeadCodeEliminationPhase().run(graph)
+    return program, graph
+
+
+@pytest.mark.parametrize("pattern", sorted(PATTERNS))
+def test_pea_analysis_throughput(benchmark, pattern):
+    """Time the *analysis* (state propagation, no graph mutation)."""
+    program, graph = prepared_graph(PATTERNS[pattern])
+    benchmark.group = "pea-analysis"
+
+    def analyze():
+        effects = Effects(graph)
+        processor = PEAProcessor(graph, program, effects)
+        tool = processor.run()
+        # Discard effects: measure analysis cost only.
+        effects.rollback((0, 0, 0))
+        return tool.virtualized_allocations
+
+    virtualized = benchmark(analyze)
+    assert virtualized >= 1
+
+
+@pytest.mark.parametrize("pattern", sorted(PATTERNS))
+def test_full_phase_throughput(benchmark, pattern):
+    """Time the full phase (analysis + effect application) on a fresh
+    graph each round."""
+    benchmark.group = "pea-phase"
+    source = PATTERNS[pattern]
+
+    def compile_with_pea():
+        program, graph = prepared_graph(source)
+        PartialEscapePhase(program, 1).run(graph)
+        return graph.node_count()
+
+    nodes = benchmark(compile_with_pea)
+    assert nodes > 0

@@ -1,0 +1,35 @@
+"""Table 1, DaCapo block: each shown benchmark without and with PEA.
+
+The full formatted table (including the MB / allocation deltas and the
+suite average with the quiet benchmarks) is produced by::
+
+    python -m repro.benchsuite.table1 --suite dacapo
+"""
+
+import pytest
+
+from repro.benchsuite.workloads import DACAPO_SHOWN, by_name
+
+from conftest import bench_iteration
+
+
+@pytest.mark.parametrize("config", ["no_ea", "pea"])
+@pytest.mark.parametrize("name", [w.name for w in DACAPO_SHOWN])
+def test_dacapo_iteration(benchmark, name, config):
+    workload = by_name(name)
+    benchmark.group = f"dacapo:{name}"
+    checksum = bench_iteration(benchmark, workload, config)
+    assert isinstance(checksum, int)
+
+
+@pytest.mark.parametrize("name", [w.name for w in DACAPO_SHOWN])
+def test_dacapo_configs_agree(name):
+    """Both configurations must compute the same checksum."""
+    from conftest import warmed_vm
+    workload = by_name(name)
+    results = set()
+    for config in ("no_ea", "pea"):
+        vm = warmed_vm(workload, config)
+        results.add(vm.call(workload.entry, workload.iteration_size))
+        vm.program.reset_statics()
+    assert len(results) == 1

@@ -1,0 +1,20 @@
+"""Table 1, ScalaDaCapo block: each benchmark without and with PEA.
+
+Formatted table: ``python -m repro.benchsuite.table1 --suite
+scaladacapo``.
+"""
+
+import pytest
+
+from repro.benchsuite.workloads import SCALADACAPO, by_name
+
+from conftest import bench_iteration
+
+
+@pytest.mark.parametrize("config", ["no_ea", "pea"])
+@pytest.mark.parametrize("name", [w.name for w in SCALADACAPO])
+def test_scaladacapo_iteration(benchmark, name, config):
+    workload = by_name(name)
+    benchmark.group = f"scaladacapo:{name}"
+    checksum = bench_iteration(benchmark, workload, config)
+    assert isinstance(checksum, int)

@@ -1,0 +1,18 @@
+"""Table 1, SPECjbb2005 row, without and with PEA.
+
+Formatted table: ``python -m repro.benchsuite.table1 --suite specjbb``.
+"""
+
+import pytest
+
+from repro.benchsuite.workloads import by_name
+
+from conftest import bench_iteration
+
+
+@pytest.mark.parametrize("config", ["no_ea", "pea"])
+def test_specjbb_iteration(benchmark, config):
+    workload = by_name("specjbb2005")
+    benchmark.group = "specjbb2005"
+    checksum = bench_iteration(benchmark, workload, config)
+    assert isinstance(checksum, int)

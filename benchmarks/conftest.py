@@ -1,0 +1,72 @@
+"""Shared fixtures for the pytest-benchmark harness.
+
+Each benchmark measures one *benchmark iteration* (``Bench.iterate``)
+on a pre-warmed VM.  Wall time here reflects the simulator's speed; the
+paper-relevant metrics — simulated cycles, allocated bytes, allocation
+and monitor counts — are attached to each benchmark's ``extra_info`` and
+summarized by the Table 1 / comparison report generators
+(``python -m repro.benchsuite.table1``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.benchsuite.workloads import Workload
+from repro.jit import VM, CompilerConfig
+from repro.lang import compile_source
+
+_vm_cache: Dict[Tuple[str, str], VM] = {}
+
+CONFIG_FACTORIES = {
+    "no_ea": CompilerConfig.no_ea,
+    "equi": CompilerConfig.equi_escape,
+    "pea": CompilerConfig.partial_escape,
+}
+
+
+def warmed_vm(workload: Workload, config_name: str) -> VM:
+    """A VM with the workload's hot code compiled (cached per session)."""
+    key = (workload.name, config_name)
+    vm = _vm_cache.get(key)
+    if vm is None:
+        program = compile_source(workload.source,
+                                 natives=workload.natives or None)
+        vm = VM(program, CONFIG_FACTORIES[config_name]())
+        for _ in range(min(workload.warmup_iterations, 25)):
+            vm.call(workload.entry, workload.iteration_size)
+            program.reset_statics()
+        _vm_cache[key] = vm
+    return vm
+
+
+def bench_iteration(benchmark, workload: Workload, config_name: str):
+    """Benchmark one iteration; returns the checksum."""
+    vm = warmed_vm(workload, config_name)
+    heap_before = vm.heap_snapshot()
+    cycles_before = vm.cycles_snapshot()
+    iterations = {"n": 0}
+
+    def one_iteration():
+        iterations["n"] += 1
+        result = vm.call(workload.entry, workload.iteration_size)
+        vm.program.reset_statics()
+        return result
+
+    checksum = benchmark(one_iteration)
+    count = max(1, iterations["n"])
+    heap = vm.heap_snapshot().delta(heap_before)
+    benchmark.extra_info.update({
+        "config": config_name,
+        "checksum": checksum,
+        "sim_cycles_per_iteration": round(
+            (vm.cycles_snapshot() - cycles_before) / count),
+        "kb_per_iteration": round(
+            heap.allocated_bytes / count / 1024.0, 2),
+        "allocations_per_iteration": round(heap.allocations / count, 1),
+        "monitor_ops_per_iteration": round(
+            heap.monitor_operations / count, 1),
+    })
+    return checksum

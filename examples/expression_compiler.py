@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""A realistic application on the VM: an arithmetic-expression compiler
+written *in MJ*, run under all three escape-analysis configurations.
+
+The MJ program tokenizes ``3+x*x-2*x/4+7*x``, parses it into an AST of
+node objects, and evaluates the AST — re-parsing every round so the
+front-end churn is hot.  It is also an honest demonstration of what PEA
+can and cannot do on real code shapes:
+
+- the Parser cursor object is scalar-replaced (the per-round win);
+- the AST nodes escape into the tree — they must exist (and do);
+- the Tokens are allocated at *four different sites* inside
+  ``Lexer.next`` whose returns merge: a phi over distinct allocations
+  forces materialization ("a virtual object needs to be materialized
+  before it can serve as an input to a Phi node", Section 5.3) — so
+  tokens survive even under PEA, exactly as they would under Graal.
+
+Run:  python examples/expression_compiler.py
+"""
+
+from repro import VM, CompilerConfig, compile_source
+
+MJ_SOURCE = """
+class Token {
+    int kind;       // 0 num, 1 ident, 2 op, 3 lparen, 4 rparen, 5 end
+    int value;      // number value or operator char
+    Token(int kind, int value) { this.kind = kind; this.value = value; }
+}
+class Lexer {
+    int[] text;
+    int position;
+    Lexer(int[] text) { this.text = text; this.position = 0; }
+    Token next() {
+        while (position < text.length && text[position] == 32) {
+            position = position + 1;
+        }
+        if (position >= text.length) { return new Token(5, 0); }
+        int c = text[position];
+        if (c >= 48 && c <= 57) {
+            int v = 0;
+            while (position < text.length && text[position] >= 48
+                   && text[position] <= 57) {
+                v = v * 10 + (text[position] - 48);
+                position = position + 1;
+            }
+            return new Token(0, v);
+        }
+        position = position + 1;
+        if (c == 120) { return new Token(1, 0); }      // 'x'
+        if (c == 40) { return new Token(3, 0); }
+        if (c == 41) { return new Token(4, 0); }
+        return new Token(2, c);
+    }
+}
+class Node {
+    int kind;       // 0 literal, 1 variable, 2 binary
+    int value;      // literal value or operator
+    Node left; Node right;
+    Node(int kind, int value) { this.kind = kind; this.value = value; }
+    int eval(int x) {
+        if (kind == 0) { return value; }
+        if (kind == 1) { return x; }
+        int a = left.eval(x);
+        int b = right.eval(x);
+        if (value == 43) { return a + b; }
+        if (value == 45) { return a - b; }
+        if (value == 42) { return a * b; }
+        return a / ((b & 1023) + 1);
+    }
+}
+class Parser {
+    Lexer lexer;
+    Token lookahead;
+    Parser(Lexer lexer) { this.lexer = lexer; this.lookahead = lexer.next(); }
+    Token take() {
+        Token t = lookahead;
+        lookahead = lexer.next();
+        return t;
+    }
+    Node primary() {
+        Token t = take();
+        if (t.kind == 1) { return new Node(1, 0); }
+        return new Node(0, t.value);
+    }
+    Node product() {
+        Node node = primary();
+        while (lookahead.kind == 2
+               && (lookahead.value == 42 || lookahead.value == 47)) {
+            Token op = take();
+            Node rhs = primary();
+            Node parent = new Node(2, op.value);
+            parent.left = node;
+            parent.right = rhs;
+            node = parent;
+        }
+        return node;
+    }
+    Node sum() {
+        Node node = product();
+        while (lookahead.kind == 2
+               && (lookahead.value == 43 || lookahead.value == 45)) {
+            Token op = take();
+            Node rhs = product();
+            Node parent = new Node(2, op.value);
+            parent.left = node;
+            parent.right = rhs;
+            node = parent;
+        }
+        return node;
+    }
+}
+class Main {
+    static int[] source;
+    static void prepare() {
+        // "3+x*x-2*x/4 + 7*x" as character codes.
+        int[] s = new int[17];
+        s[0] = 51; s[1] = 43; s[2] = 120; s[3] = 42; s[4] = 120;
+        s[5] = 45; s[6] = 50; s[7] = 42; s[8] = 120; s[9] = 47;
+        s[10] = 52; s[11] = 32; s[12] = 43; s[13] = 32; s[14] = 55;
+        s[15] = 42; s[16] = 120;
+        source = s;
+    }
+    static int run(int rounds) {
+        prepare();
+        int acc = 0;
+        for (int r = 0; r < rounds; r = r + 1) {
+            // Re-parse each round: lexer, parser and every token are
+            // per-round temporaries; the AST nodes survive into eval.
+            Lexer lexer = new Lexer(source);
+            Parser parser = new Parser(lexer);
+            Node tree = parser.sum();
+            for (int x = 0; x < 4; x = x + 1) {
+                acc = acc + tree.eval(r + x);
+            }
+        }
+        return acc;
+    }
+}
+"""
+
+
+def main():
+    reference = None
+    print("parse + evaluate '3+x*x-2*x/4+7*x', 500 rounds:\n")
+    print(f"{'configuration':>16} {'result':>12} {'allocations':>12} "
+          f"{'sim. cycles':>14}")
+    for label, factory in (("interpreter", None),
+                           ("no EA", CompilerConfig.no_ea),
+                           ("equi-escape EA", CompilerConfig.equi_escape),
+                           ("Partial EA", CompilerConfig.partial_escape)):
+        program = compile_source(MJ_SOURCE)
+        if factory is None:
+            from repro import Interpreter
+            interp = Interpreter(program)
+            result = interp.call("Main.run", 500)
+            stats = interp.heap.stats
+            cycles = ""
+        else:
+            vm = VM(program, factory())
+            for _ in range(25):
+                vm.call("Main.run", 50)
+            before = vm.heap_snapshot()
+            cycles_before = vm.cycles_snapshot()
+            result = vm.call("Main.run", 500)
+            stats = vm.heap_snapshot().delta(before)
+            cycles = f"{vm.cycles_snapshot() - cycles_before:>14,.0f}"
+        if reference is None:
+            reference = result
+        assert result == reference
+        print(f"{label:>16} {result:>12} {stats.allocations:>12} {cycles}")
+    print("\nPEA removed the per-round parser cursor; the AST must "
+          "exist (it escapes\ninto the tree) and the tokens are "
+          "phi-merged across Lexer.next's return\nsites, so they "
+          "materialize — the Section 5.3 merge rule at work.")
+
+
+if __name__ == "__main__":
+    main()

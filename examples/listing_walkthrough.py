@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""The paper's running example, end to end.
+
+Reproduces the transformation chain of the paper's Listings 4 -> 5 -> 6:
+
+1. ``getValue`` is compiled to IR (Listing 4);
+2. inlining brings in the Key constructor and the synchronized
+   equals — the graph of Figure 2 / Listing 5;
+3. Partial Escape Analysis sinks the allocation into the escaping
+   branch and elides the monitor pair (Listing 6).
+
+Run:  python examples/listing_walkthrough.py [--dump-ir] [--dot out.dot]
+"""
+
+import argparse
+
+from repro import (CanonicalizerPhase, DeadCodeEliminationPhase,
+                   GlobalValueNumberingPhase, InliningPhase,
+                   PartialEscapePhase, build_graph, compile_source,
+                   dump_graph, to_dot)
+from repro.ir import nodes as N
+
+LISTING_4 = """
+class Key {
+    int idx;
+    Object ref;
+    Key(int idx, Object ref) { this.idx = idx; this.ref = ref; }
+    synchronized boolean equalsKey(Key other) {
+        return this.idx == other.idx && this.ref == other.ref;
+    }
+}
+class Main {
+    static Key cacheKey;
+    static Object cacheValue;
+    static Object getValue(int idx, Object ref) {
+        Key key = new Key(idx, ref);
+        if (cacheKey != null && key.equalsKey(cacheKey)) {
+            return cacheValue;
+        } else {
+            cacheKey = key;
+            cacheValue = createValue(idx);
+            return cacheValue;
+        }
+    }
+    static native Object createValue(int idx);
+}
+"""
+
+
+def census(graph):
+    return {
+        "allocations": len(list(graph.nodes_of(N.NewInstanceNode))),
+        "monitor enters": len(list(graph.nodes_of(N.MonitorEnterNode))),
+        "monitor exits": len(list(graph.nodes_of(N.MonitorExitNode))),
+        "field loads": len(list(graph.nodes_of(N.LoadFieldNode))),
+        "field stores": len(list(graph.nodes_of(N.StoreFieldNode))),
+        "invokes": len(list(graph.nodes_of(N.InvokeNode))),
+        "total nodes": graph.node_count(),
+    }
+
+
+def show(title, graph, dump):
+    print(f"\n--- {title} ---")
+    for key, value in census(graph).items():
+        print(f"  {key:>15}: {value}")
+    if dump:
+        print()
+        print(dump_graph(graph, include_floating=False))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dump-ir", action="store_true",
+                        help="print the control-flow skeleton at each "
+                             "stage (Figure 2 style)")
+    parser.add_argument("--dot", metavar="FILE",
+                        help="write the final graph as Graphviz dot")
+    args = parser.parse_args()
+
+    program = compile_source(
+        LISTING_4,
+        natives={"Main.createValue": lambda interp, a: a[0] * 1000})
+    graph = build_graph(program, program.method("Main.getValue"))
+    show("Listing 4: as built (calls not yet inlined)", graph,
+         args.dump_ir)
+
+    InliningPhase(program).run(graph)
+    CanonicalizerPhase().run(graph)
+    GlobalValueNumberingPhase().run(graph)
+    DeadCodeEliminationPhase().run(graph)
+    show("Listing 5 / Figure 2: after inlining "
+         "(constructor + synchronized equals)", graph, args.dump_ir)
+
+    pea = PartialEscapePhase(program)
+    pea.run(graph)
+    CanonicalizerPhase().run(graph)
+    DeadCodeEliminationPhase().run(graph)
+    show("Listing 6: after Partial Escape Analysis", graph, args.dump_ir)
+    print(f"\nPEA: virtualized {pea.last_result.virtualized_allocations} "
+          f"allocation(s), removed "
+          f"{pea.last_result.removed_monitor_pairs} monitor pair(s), "
+          f"materialized {pea.last_result.materializations} time(s) — "
+          "the allocation now lives only in the cache-miss branch.")
+
+    if args.dot:
+        with open(args.dot, "w") as handle:
+            handle.write(to_dot(graph))
+        print(f"wrote {args.dot}")
+
+
+if __name__ == "__main__":
+    main()

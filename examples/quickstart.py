@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: compile a Java-like program, run it on the tiered JIT VM
+with Partial Escape Analysis, and inspect the allocation statistics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import VM, CompilerConfig, compile_source
+
+SOURCE = """
+class Point {
+    int x; int y;
+    Point(int x, int y) { this.x = x; this.y = y; }
+    Point plus(Point other) {
+        return new Point(x + other.x, y + other.y);
+    }
+    int norm1() {
+        int ax = x; int ay = y;
+        if (ax < 0) { ax = -ax; }
+        if (ay < 0) { ay = -ay; }
+        return ax + ay;
+    }
+}
+class Main {
+    static int walk(int steps) {
+        int total = 0;
+        for (int i = 0; i < steps; i = i + 1) {
+            Point here = new Point(i, -i);
+            Point delta = new Point(i % 3 - 1, i % 5 - 2);
+            Point next = here.plus(delta);
+            total = total + next.norm1();
+        }
+        return total;
+    }
+}
+"""
+
+
+def run(config, label):
+    program = compile_source(SOURCE)
+    vm = VM(program, config)
+    # Warm up so Main.walk gets compiled.
+    for _ in range(30):
+        vm.call("Main.walk", 50)
+    before = vm.heap_snapshot()
+    cycles_before = vm.cycles_snapshot()
+    result = vm.call("Main.walk", 10_000)
+    stats = vm.heap_snapshot().delta(before)
+    cycles = vm.cycles_snapshot() - cycles_before
+    print(f"{label:>12}: result={result}  allocations={stats.allocations}"
+          f"  bytes={stats.allocated_bytes}  cycles={cycles:,.0f}")
+    return result
+
+
+def main():
+    print("Summing 10,000 vector walks (3 Point temporaries per step):\n")
+    a = run(CompilerConfig.no_ea(), "without EA")
+    b = run(CompilerConfig.partial_escape(), "with PEA")
+    assert a == b, "configurations must agree"
+    print("\nPartial Escape Analysis scalar-replaced every temporary "
+          "Point:\nthe loop runs allocation-free.")
+
+
+if __name__ == "__main__":
+    main()

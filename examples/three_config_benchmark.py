@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Section 6.2 in miniature: no EA vs flow-insensitive EA vs PEA.
+
+The workload is the paper's motivating shape — a cache keyed by a
+short-lived Key object that escapes only on cache misses.  The
+flow-insensitive baseline (equi-escape sets, as in the HotSpot
+compilers) sees the miss-path escape and gives up entirely; Partial
+Escape Analysis keeps the hit path allocation- and lock-free.
+
+Run:  python examples/three_config_benchmark.py
+"""
+
+from repro import VM, CompilerConfig, compile_source
+
+SOURCE = """
+class Key {
+    int idx;
+    Object ref;
+    Key(int idx, Object ref) { this.idx = idx; this.ref = ref; }
+    synchronized boolean sameAs(Key other) {
+        return this.idx == other.idx && this.ref == other.ref;
+    }
+}
+class Main {
+    static Key cacheKey;
+    static int cacheValue;
+    static int getValue(int idx) {
+        Key key = new Key(idx, null);
+        if (cacheKey != null && key.sameAs(cacheKey)) {
+            return cacheValue;                    // hit: key was virtual
+        } else {
+            cacheKey = key;                       // miss: key escapes
+            cacheValue = idx * 31 + 7;
+            return cacheValue;
+        }
+    }
+    static int run(int n) {
+        int acc = 0;
+        for (int i = 0; i < n; i = i + 1) {
+            acc = acc + getValue((i / 8) % 16);   // 7 of 8 lookups hit
+        }
+        return acc;
+    }
+}
+"""
+
+CONFIGS = [
+    ("no EA", CompilerConfig.no_ea),
+    ("equi-escape EA", CompilerConfig.equi_escape),
+    ("Partial EA", CompilerConfig.partial_escape),
+]
+
+
+def main():
+    print("cache lookups, 87.5% hit rate, 16,000 operations:\n")
+    print(f"{'configuration':>16} {'allocations':>12} {'monitors':>9} "
+          f"{'sim. cycles':>12} {'speedup':>8}")
+    baseline_cycles = None
+    results = set()
+    for label, factory in CONFIGS:
+        program = compile_source(SOURCE)
+        vm = VM(program, factory())
+        for _ in range(30):
+            vm.call("Main.run", 128)
+        program.reset_statics()
+        heap_before = vm.heap_snapshot()
+        cycles_before = vm.cycles_snapshot()
+        results.add(vm.call("Main.run", 16_000))
+        heap = vm.heap_snapshot().delta(heap_before)
+        cycles = vm.cycles_snapshot() - cycles_before
+        if baseline_cycles is None:
+            baseline_cycles = cycles
+            speedup = ""
+        else:
+            speedup = f"{(baseline_cycles / cycles - 1) * 100:+.1f}%"
+        print(f"{label:>16} {heap.allocations:>12} "
+              f"{heap.monitor_enters:>9} {cycles:>12,.0f} {speedup:>8}")
+    assert len(results) == 1, "configurations must agree"
+    print("\nThe flow-insensitive analysis is all-or-nothing: one "
+          "escaping branch\nforfeits everything.  PEA allocates only on "
+          "actual cache misses and\nelides every monitor operation.")
+
+
+if __name__ == "__main__":
+    main()

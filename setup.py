@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+``pip install -e .`` uses pyproject.toml; this file additionally enables
+``python setup.py develop`` for fully offline environments where pip
+cannot build the PEP 660 editable wheel (no `wheel` package available).
+"""
+
+from setuptools import setup
+
+setup()

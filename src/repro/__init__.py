@@ -1,0 +1,43 @@
+"""repro — Partial Escape Analysis and Scalar Replacement for Java.
+
+A full-system reproduction of Stadler, Würthinger & Mössenböck (CGO
+2014) in Python: a JVM-like bytecode substrate, a Java-like source
+language, a Graal-style sea-of-nodes SSA IR with speculative
+optimization and deoptimization, the Partial Escape Analysis phase (the
+paper's contribution) plus a flow-insensitive equi-escape-sets baseline,
+a simulated-machine runtime, a tiered JIT VM, and a benchmark suite that
+regenerates the shape of the paper's Table 1.
+
+Quickstart::
+
+    from repro import compile_source, VM, CompilerConfig
+
+    program = compile_source(JAVA_LIKE_SOURCE)
+    vm = VM(program, CompilerConfig.partial_escape())
+    result = vm.call("Main.run", 1000)
+    print(vm.heap_snapshot())          # allocations, bytes, monitors
+"""
+
+from .bytecode import (Heap, HeapStats, Interpreter, Program,
+                       disassemble_method, disassemble_program,
+                       verify_program)
+from .frontend import build_graph
+from .ir import Graph, dump_graph, to_dot
+from .jit import VM, Compiler, CompilerConfig, EscapeAnalysisKind
+from .lang import compile_source
+from .opt import (CanonicalizerPhase, DeadCodeEliminationPhase,
+                  GlobalValueNumberingPhase, InliningPhase, PhasePlan)
+from .pea import EquiEscapePhase, PartialEscapePhase, PEAResult
+from .runtime import CostModel, ExecutionStats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Heap", "HeapStats", "Interpreter", "Program", "disassemble_method",
+    "disassemble_program", "verify_program", "build_graph", "Graph",
+    "dump_graph", "to_dot", "VM", "Compiler", "CompilerConfig",
+    "EscapeAnalysisKind", "compile_source", "CanonicalizerPhase",
+    "DeadCodeEliminationPhase", "GlobalValueNumberingPhase",
+    "InliningPhase", "PhasePlan", "EquiEscapePhase", "PartialEscapePhase",
+    "PEAResult", "CostModel", "ExecutionStats", "__version__",
+]

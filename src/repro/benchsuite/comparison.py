@@ -1,0 +1,110 @@
+"""Section 6.2: flow-insensitive Escape Analysis vs Partial Escape
+Analysis.
+
+The paper reports that the HotSpot server compiler gains less from its
+(flow-insensitive) Escape Analysis than Graal does from PEA:
+0.9% vs 2.2% on DaCapo, 7.4% vs 10.4% on ScalaDaCapo, 5.4% vs 8.7% on
+SPECjbb2005.  This harness runs every suite under three configurations
+(no EA / equi-escape EA / PEA) and prints the same comparison.
+
+Usage::
+
+    python -m repro.benchsuite.comparison [--suite ...] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..jit import CompilerConfig
+from .harness import Measurement, run_workload
+from .reporting import pct, render_table
+from .workloads import SUITES, Workload
+
+
+@dataclass
+class ThreeWay:
+    workload: Workload
+    no_ea: Measurement
+    equi: Measurement
+    pea: Measurement
+
+    def speedup(self, measurement: Measurement) -> float:
+        base = self.no_ea.iterations_per_minute
+        if base == 0:
+            return 0.0
+        return (measurement.iterations_per_minute - base) / base * 100.0
+
+    @property
+    def equi_speedup_pct(self) -> float:
+        return self.speedup(self.equi)
+
+    @property
+    def pea_speedup_pct(self) -> float:
+        return self.speedup(self.pea)
+
+    def verify(self):
+        assert self.no_ea.checksum == self.equi.checksum == \
+            self.pea.checksum, f"{self.workload.name}: checksum mismatch"
+
+
+def run_three_way(workload: Workload) -> ThreeWay:
+    result = ThreeWay(
+        workload,
+        run_workload(workload, CompilerConfig.no_ea()),
+        run_workload(workload, CompilerConfig.equi_escape()),
+        run_workload(workload, CompilerConfig.partial_escape()),
+    )
+    result.verify()
+    return result
+
+
+#: The paper's Section 6.2 numbers: suite -> (server EA %, Graal PEA %).
+PAPER_62 = {
+    "dacapo": (0.9, 2.2),
+    "scaladacapo": (7.4, 10.4),
+    "specjbb": (5.4, 8.7),
+}
+
+
+def generate(suites: Sequence[str], quick: bool = False, out=sys.stdout
+             ) -> Dict[str, List[ThreeWay]]:
+    results: Dict[str, List[ThreeWay]] = {}
+    for suite_name in suites:
+        workloads = SUITES[suite_name]
+        if quick:
+            for workload in workloads:
+                workload.warmup_iterations = min(
+                    workload.warmup_iterations, 25)
+        three_ways = [run_three_way(w) for w in workloads]
+        results[suite_name] = three_ways
+        rows = [[t.workload.name, pct(t.equi_speedup_pct),
+                 pct(t.pea_speedup_pct)] for t in three_ways]
+        equi_avg = sum(t.equi_speedup_pct for t in three_ways) \
+            / len(three_ways)
+        pea_avg = sum(t.pea_speedup_pct for t in three_ways) \
+            / len(three_ways)
+        paper_equi, paper_pea = PAPER_62[suite_name]
+        rows.append(["average", pct(equi_avg), pct(pea_avg)])
+        rows.append(["(paper)", pct(paper_equi), pct(paper_pea)])
+        print(f"\n== {suite_name}: speedup over no-EA ==", file=out)
+        print(render_table(["benchmark", "equi-escape EA", "PEA"], rows),
+              file=out)
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--suite", choices=sorted(SUITES) + ["all"],
+                        default="all")
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args(argv)
+    suites = list(SUITES) if args.suite == "all" else [args.suite]
+    generate(suites, quick=args.quick)
+
+
+if __name__ == "__main__":
+    main()

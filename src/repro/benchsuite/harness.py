@@ -1,0 +1,140 @@
+"""The benchmark harness.
+
+Mirrors the paper's process (Section 6.1): each benchmark is warmed up
+until its hot methods are compiled, then a number of measured iterations
+are averaged.  "Run time" is simulated cycles from the cost model;
+"iterations per minute" is derived from a fixed simulated clock so the
+numbers read like the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..jit import VM, CompilerConfig
+from ..lang import compile_source
+from .workloads import Workload
+
+#: The simulated machine's clock: cycles per minute (a 2 MHz toy CPU —
+#: absolute values are meaningless; only ratios matter).
+SIMULATED_CYCLES_PER_MINUTE = 120_000_000.0
+
+
+@dataclass
+class Measurement:
+    """Averaged per-iteration metrics for one workload under one
+    configuration."""
+
+    workload: str
+    config: str
+    checksum: int
+    kb_per_iteration: float
+    allocations_per_iteration: float
+    monitor_ops_per_iteration: float
+    cycles_per_iteration: float
+    compiled_nodes: int
+    deopts: int
+
+    @property
+    def iterations_per_minute(self) -> float:
+        if self.cycles_per_iteration <= 0:
+            return float("inf")
+        return SIMULATED_CYCLES_PER_MINUTE / self.cycles_per_iteration
+
+
+def run_workload(workload: Workload, config: CompilerConfig
+                 ) -> Measurement:
+    """Warm up, then measure ``workload.measure_iterations`` iterations."""
+    program = compile_source(workload.source, natives=workload.natives
+                             or None)
+    vm = VM(program, config)
+    checksum = 0
+    for _ in range(workload.warmup_iterations):
+        checksum = vm.call(workload.entry, workload.iteration_size)
+        program.reset_statics()
+
+    heap_before = vm.heap_snapshot()
+    cycles_before = vm.cycles_snapshot()
+    for _ in range(workload.measure_iterations):
+        checksum = vm.call(workload.entry, workload.iteration_size)
+        program.reset_statics()
+    heap_delta = vm.heap_snapshot().delta(heap_before)
+    cycles = vm.cycles_snapshot() - cycles_before
+
+    iterations = workload.measure_iterations
+    compiled_nodes = sum(r.node_count for r in vm.compiled.values())
+    return Measurement(
+        workload=workload.name,
+        config=config.label(),
+        checksum=checksum,
+        kb_per_iteration=heap_delta.allocated_bytes / iterations / 1024.0,
+        allocations_per_iteration=heap_delta.allocations / iterations,
+        monitor_ops_per_iteration=(heap_delta.monitor_operations
+                                   / iterations),
+        cycles_per_iteration=cycles / iterations,
+        compiled_nodes=compiled_nodes,
+        deopts=vm.exec_stats.deopts,
+    )
+
+
+@dataclass
+class Comparison:
+    """without-PEA vs with-PEA for one workload (one Table 1 line)."""
+
+    workload: Workload
+    without: Measurement
+    with_pea: Measurement
+
+    def _delta_pct(self, before: float, after: float) -> float:
+        if before == 0:
+            return 0.0
+        return (after - before) / before * 100.0
+
+    @property
+    def kb_delta_pct(self) -> float:
+        return self._delta_pct(self.without.kb_per_iteration,
+                               self.with_pea.kb_per_iteration)
+
+    @property
+    def allocs_delta_pct(self) -> float:
+        return self._delta_pct(self.without.allocations_per_iteration,
+                               self.with_pea.allocations_per_iteration)
+
+    @property
+    def monitor_delta_pct(self) -> float:
+        return self._delta_pct(self.without.monitor_ops_per_iteration,
+                               self.with_pea.monitor_ops_per_iteration)
+
+    @property
+    def speedup_pct(self) -> float:
+        return self._delta_pct(self.without.iterations_per_minute,
+                               self.with_pea.iterations_per_minute)
+
+    def verify(self):
+        if self.without.checksum != self.with_pea.checksum:
+            raise AssertionError(
+                f"{self.workload.name}: checksum mismatch "
+                f"{self.without.checksum} vs {self.with_pea.checksum}")
+
+
+def compare_workload(workload: Workload,
+                     baseline: Optional[CompilerConfig] = None,
+                     optimized: Optional[CompilerConfig] = None
+                     ) -> Comparison:
+    """Run one workload under the paper's two configurations."""
+    comparison = Comparison(
+        workload,
+        run_workload(workload, baseline or CompilerConfig.no_ea()),
+        run_workload(workload, optimized
+                     or CompilerConfig.partial_escape()),
+    )
+    comparison.verify()
+    return comparison
+
+
+def run_suite(workloads: Sequence[Workload],
+              baseline: Optional[CompilerConfig] = None,
+              optimized: Optional[CompilerConfig] = None
+              ) -> List[Comparison]:
+    return [compare_workload(w, baseline, optimized) for w in workloads]

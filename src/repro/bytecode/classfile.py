@@ -1,0 +1,265 @@
+"""Class, method and field model — the "classfile" substrate.
+
+A :class:`Program` is the unit the VM operates on: a closed set of classes
+with single inheritance rooted at ``Object``, static fields, and method
+resolution for the three invocation kinds.  Field layout (used for the
+allocated-bytes statistic) follows a 64-bit HotSpot-like model: a fixed
+object header plus one word per instance field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .instructions import Instruction, MethodRef
+
+#: Size in bytes of an object header (mark word + class pointer).
+OBJECT_HEADER_BYTES = 16
+#: Size in bytes of one instance field slot.
+FIELD_BYTES = 8
+#: Size in bytes of an array header (object header + length word).
+ARRAY_HEADER_BYTES = 24
+#: Size in bytes of one array element slot.
+ELEMENT_BYTES = 8
+
+#: The root class every class implicitly extends.
+OBJECT_CLASS = "Object"
+
+
+class ResolutionError(Exception):
+    """Raised when a class, field or method reference cannot be resolved."""
+
+
+@dataclass(eq=False)
+class JField:
+    """A field declaration."""
+
+    name: str
+    type_name: str = "int"
+    is_static: bool = False
+    default: Any = None
+
+    def default_value(self):
+        """The JVM-style default for an uninitialized field."""
+        if self.default is not None:
+            return self.default
+        return 0 if self.type_name in ("int", "boolean") else None
+
+
+@dataclass(eq=False)
+class JMethod:
+    """A method declaration with its bytecode.
+
+    ``param_types`` includes the receiver type for instance methods.
+    ``native_impl`` — for native methods — is a Python callable
+    ``(interpreter, args) -> value`` standing in for JNI code; native
+    callees are opaque to the compiler, so their arguments escape.
+    """
+
+    name: str
+    param_types: List[str] = field(default_factory=list)
+    return_type: str = "void"
+    code: List[Instruction] = field(default_factory=list)
+    max_locals: int = 0
+    is_static: bool = False
+    is_synchronized: bool = False
+    is_native: bool = False
+    native_impl: Optional[Callable] = None
+    #: Simulated cycles one call of this native costs (models JNI /
+    #: precompiled library work on the simulated machine).
+    native_cycle_cost: int = 0
+    holder: Optional["JClass"] = None  # set by JClass.add_method
+
+    @property
+    def arg_count(self):
+        return len(self.param_types)
+
+    @property
+    def qualified_name(self):
+        holder = self.holder.name if self.holder else "?"
+        return f"{holder}.{self.name}"
+
+    def ref(self) -> MethodRef:
+        """A symbolic reference to this method."""
+        if self.holder is None:
+            raise ValueError(f"method {self.name} has no holder class")
+        return MethodRef(self.holder.name, self.name, self.arg_count)
+
+    def __repr__(self):
+        return f"<JMethod {self.qualified_name}/{self.arg_count}>"
+
+
+@dataclass(eq=False)
+class JClass:
+    """A class declaration."""
+
+    name: str
+    superclass_name: Optional[str] = OBJECT_CLASS
+    fields: Dict[str, JField] = field(default_factory=dict)
+    methods: Dict[str, JMethod] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.name == OBJECT_CLASS:
+            self.superclass_name = None
+
+    def add_field(self, jfield: JField) -> JField:
+        if jfield.name in self.fields:
+            raise ValueError(
+                f"duplicate field {self.name}.{jfield.name}")
+        self.fields[jfield.name] = jfield
+        return jfield
+
+    def add_method(self, method: JMethod) -> JMethod:
+        if method.name in self.methods:
+            raise ValueError(
+                f"duplicate method {self.name}.{method.name}")
+        method.holder = self
+        self.methods[method.name] = method
+        return method
+
+    def __repr__(self):
+        return f"<JClass {self.name}>"
+
+
+class Program:
+    """A closed world of classes, with resolution and layout queries."""
+
+    def __init__(self):
+        self.classes: Dict[str, JClass] = {}
+        self.statics: Dict[str, Any] = {}  # "Class.field" -> value
+        self.add_class(JClass(OBJECT_CLASS))
+
+    # -- construction ---------------------------------------------------
+
+    def add_class(self, jclass: JClass) -> JClass:
+        if jclass.name in self.classes:
+            raise ValueError(f"duplicate class {jclass.name}")
+        self.classes[jclass.name] = jclass
+        return jclass
+
+    def define_class(self, name, superclass_name=OBJECT_CLASS) -> JClass:
+        """Create, register and return an empty class."""
+        return self.add_class(JClass(name, superclass_name))
+
+    # -- resolution ------------------------------------------------------
+
+    def lookup_class(self, name: str) -> JClass:
+        try:
+            return self.classes[name]
+        except KeyError:
+            raise ResolutionError(f"unknown class {name}") from None
+
+    def superclasses(self, name: str):
+        """Yield *name* and all its superclasses, most derived first."""
+        current: Optional[str] = name
+        seen = set()
+        while current is not None:
+            if current in seen:
+                raise ResolutionError(f"inheritance cycle at {current}")
+            seen.add(current)
+            jclass = self.lookup_class(current)
+            yield jclass
+            current = jclass.superclass_name
+
+    def is_subclass_of(self, name: str, ancestor: str) -> bool:
+        return any(c.name == ancestor for c in self.superclasses(name))
+
+    def resolve_field(self, class_name: str, field_name: str) -> JField:
+        for jclass in self.superclasses(class_name):
+            if field_name in jclass.fields:
+                return jclass.fields[field_name]
+        raise ResolutionError(f"unknown field {class_name}.{field_name}")
+
+    def resolve_method(self, class_name: str, method_name: str) -> JMethod:
+        """Resolve statically (for invokestatic/invokespecial and as the
+        declared target of invokevirtual)."""
+        for jclass in self.superclasses(class_name):
+            if method_name in jclass.methods:
+                return jclass.methods[method_name]
+        raise ResolutionError(f"unknown method {class_name}.{method_name}")
+
+    def resolve_virtual(self, receiver_class: str,
+                        method_name: str) -> JMethod:
+        """Resolve an invokevirtual against the receiver's dynamic class."""
+        return self.resolve_method(receiver_class, method_name)
+
+    def has_subclasses(self, name: str) -> bool:
+        """True if any loaded class extends *name* (directly or not)."""
+        return any(jclass.name != name
+                   and self.is_subclass_of(jclass.name, name)
+                   for jclass in self.classes.values())
+
+    def has_overrides(self, method: JMethod) -> bool:
+        """True if any loaded subclass overrides *method* — the compiler
+        uses this for (non-speculative) devirtualization."""
+        holder = method.holder.name
+        for jclass in self.classes.values():
+            if jclass.name == holder:
+                continue
+            if (method.name in jclass.methods
+                    and self.is_subclass_of(jclass.name, holder)):
+                return True
+        return False
+
+    # -- layout -----------------------------------------------------------
+
+    def instance_fields(self, class_name: str) -> List[JField]:
+        """All instance fields including inherited ones, base class first."""
+        chain = list(self.superclasses(class_name))
+        result: List[JField] = []
+        for jclass in reversed(chain):
+            result.extend(f for f in jclass.fields.values()
+                          if not f.is_static)
+        return result
+
+    def instance_size(self, class_name: str) -> int:
+        """Heap size in bytes of an instance of *class_name*."""
+        return (OBJECT_HEADER_BYTES
+                + FIELD_BYTES * len(self.instance_fields(class_name)))
+
+    @staticmethod
+    def array_size(length: int) -> int:
+        """Heap size in bytes of an array of *length* elements."""
+        return ARRAY_HEADER_BYTES + ELEMENT_BYTES * length
+
+    # -- statics ------------------------------------------------------------
+
+    def static_key(self, class_name: str, field_name: str) -> str:
+        jfield = self.resolve_field(class_name, field_name)
+        if not jfield.is_static:
+            raise ResolutionError(
+                f"{class_name}.{field_name} is not static")
+        # Find the declaring class so Sub.f and Base.f share storage.
+        for jclass in self.superclasses(class_name):
+            if field_name in jclass.fields:
+                return f"{jclass.name}.{field_name}"
+        raise AssertionError("unreachable")
+
+    def get_static(self, class_name: str, field_name: str):
+        key = self.static_key(class_name, field_name)
+        if key not in self.statics:
+            declaring = key.split(".")[0]
+            jfield = self.lookup_class(declaring).fields[field_name]
+            self.statics[key] = jfield.default_value()
+        return self.statics[key]
+
+    def set_static(self, class_name: str, field_name: str, value):
+        key = self.static_key(class_name, field_name)
+        self.statics[key] = value
+
+    def reset_statics(self):
+        """Reset all static fields to their defaults (between benchmark
+        iterations)."""
+        self.statics.clear()
+
+    # -- convenience ---------------------------------------------------------
+
+    def method(self, qualified: str) -> JMethod:
+        """Look up ``"Class.method"``."""
+        class_name, __, method_name = qualified.rpartition(".")
+        return self.resolve_method(class_name, method_name)
+
+    def all_methods(self):
+        for jclass in self.classes.values():
+            yield from jclass.methods.values()

@@ -1,0 +1,62 @@
+"""Human-readable dumps of bytecode methods and whole programs."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .classfile import JClass, JMethod, Program
+from .opcodes import OperandKind, info
+
+
+def disassemble_method(method: JMethod) -> str:
+    """Render one method, annotating branch targets with labels."""
+    flags = []
+    if method.is_static:
+        flags.append("static")
+    if method.is_synchronized:
+        flags.append("synchronized")
+    if method.is_native:
+        flags.append("native")
+    flag_str = (" [" + " ".join(flags) + "]") if flags else ""
+    params = ", ".join(method.param_types)
+    lines: List[str] = [
+        f"method {method.qualified_name}({params}) -> "
+        f"{method.return_type}{flag_str} locals={method.max_locals}"
+    ]
+    if method.is_native:
+        lines.append("    <native>")
+        return "\n".join(lines)
+
+    targets = sorted({
+        insn.operand for insn in method.code
+        if info(insn.op).operand is OperandKind.TARGET})
+    label_names = {bci: f"L{i}" for i, bci in enumerate(targets)}
+    for bci, insn in enumerate(method.code):
+        prefix = f"{label_names[bci]}:" if bci in label_names else ""
+        if info(insn.op).operand is OperandKind.TARGET:
+            text = f"{insn.op.value} {label_names[insn.operand]}"
+        else:
+            text = str(insn)
+        lines.append(f"{prefix:>6} {bci:4}: {text}")
+    return "\n".join(lines)
+
+
+def disassemble_class(jclass: JClass) -> str:
+    """Render one class: fields then methods."""
+    header = f"class {jclass.name}"
+    if jclass.superclass_name:
+        header += f" extends {jclass.superclass_name}"
+    lines = [header]
+    for jfield in jclass.fields.values():
+        kind = "static " if jfield.is_static else ""
+        lines.append(f"  {kind}{jfield.type_name} {jfield.name}")
+    for method in jclass.methods.values():
+        body = disassemble_method(method)
+        lines.append("  " + body.replace("\n", "\n  "))
+    return "\n".join(lines)
+
+
+def disassemble_program(program: Program) -> str:
+    """Render every class in the program."""
+    return "\n\n".join(
+        disassemble_class(c) for c in program.classes.values())

@@ -1,0 +1,187 @@
+"""Opcode definitions for the JVM-like stack bytecode.
+
+The bytecode is a simplified model of Java bytecode: an operand-stack
+machine with local variable slots, reference-typed objects with named
+fields, arrays, monitors and three invocation kinds.  Branch targets are
+instruction indices (we call them ``bci`` throughout, matching the paper's
+terminology), not byte offsets.
+
+Every opcode carries metadata describing its operand kind and its stack
+effect so the assembler, verifier, disassembler, interpreter and the
+IR graph builder can share a single source of truth.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OperandKind(enum.Enum):
+    """What the single immediate operand of an instruction means."""
+
+    NONE = "none"
+    CONST = "const"  # a literal: int, bool, str or None
+    LOCAL = "local"  # a local variable slot index
+    TARGET = "target"  # a branch target (instruction index)
+    CLASS = "class"  # a class name
+    FIELD = "field"  # a FieldRef
+    METHOD = "method"  # a MethodRef
+
+
+class Op(enum.Enum):
+    """The instruction set.
+
+    The stack effects below are written ``pops -> pushes``.
+    """
+
+    # -- constants and locals ------------------------------------------
+    CONST = "const"  # () -> (value)
+    LOAD = "load"  # () -> (local[n])
+    STORE = "store"  # (value) -> ()
+
+    # -- stack manipulation --------------------------------------------
+    POP = "pop"  # (v) -> ()
+    DUP = "dup"  # (v) -> (v, v)
+    SWAP = "swap"  # (a, b) -> (b, a)
+
+    # -- arithmetic (64-bit signed, wrapping) ----------------------------
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    NEG = "neg"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+
+    # -- comparisons and branches ----------------------------------------
+    GOTO = "goto"
+    IF_EQ = "if_eq"  # (a, b) -> (); branch if a == b (ints)
+    IF_NE = "if_ne"
+    IF_LT = "if_lt"
+    IF_LE = "if_le"
+    IF_GT = "if_gt"
+    IF_GE = "if_ge"
+    IF_ACMP_EQ = "if_acmp_eq"  # reference equality
+    IF_ACMP_NE = "if_acmp_ne"
+    IF_NULL = "if_null"  # (ref) -> ()
+    IF_NONNULL = "if_nonnull"
+
+    # -- objects ---------------------------------------------------------
+    NEW = "new"  # () -> (ref), uninitialized fields get defaults
+    GETFIELD = "getfield"  # (ref) -> (value)
+    PUTFIELD = "putfield"  # (ref, value) -> ()
+    GETSTATIC = "getstatic"  # () -> (value)
+    PUTSTATIC = "putstatic"  # (value) -> ()
+    NEWARRAY = "newarray"  # (length) -> (ref)
+    ALOAD = "aload"  # (ref, index) -> (value)
+    ASTORE = "astore"  # (ref, index, value) -> ()
+    ARRAYLENGTH = "arraylength"  # (ref) -> (length)
+    INSTANCEOF = "instanceof"  # (ref) -> (0 or 1)
+    CHECKCAST = "checkcast"  # (ref) -> (ref), traps on mismatch
+
+    # -- calls -------------------------------------------------------------
+    INVOKESTATIC = "invokestatic"
+    INVOKEVIRTUAL = "invokevirtual"  # dynamic dispatch on the receiver
+    INVOKESPECIAL = "invokespecial"  # constructors; no dispatch
+
+    # -- synchronization -----------------------------------------------------
+    MONITORENTER = "monitorenter"  # (ref) -> ()
+    MONITOREXIT = "monitorexit"  # (ref) -> ()
+
+    # -- control sinks -------------------------------------------------------
+    RETURN = "return"  # () -> (); void return
+    RETURN_VALUE = "return_value"  # (v) -> ()
+    THROW = "throw"  # (ref) -> (); aborts to the caller as a trap
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static metadata for one opcode."""
+
+    op: Op
+    operand: OperandKind
+    pops: int
+    pushes: int
+    is_branch: bool = False
+    is_terminator: bool = False
+    has_side_effect: bool = False
+
+
+_ARITH_BINARY = (Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.REM, Op.AND, Op.OR,
+                 Op.XOR, Op.SHL, Op.SHR)
+_CMP_BRANCHES = (Op.IF_EQ, Op.IF_NE, Op.IF_LT, Op.IF_LE, Op.IF_GT, Op.IF_GE,
+                 Op.IF_ACMP_EQ, Op.IF_ACMP_NE)
+
+OP_INFO: "dict[Op, OpInfo]" = {}
+
+
+def _register(op, operand, pops, pushes, **flags):
+    OP_INFO[op] = OpInfo(op, operand, pops, pushes, **flags)
+
+
+_register(Op.CONST, OperandKind.CONST, 0, 1)
+_register(Op.LOAD, OperandKind.LOCAL, 0, 1)
+_register(Op.STORE, OperandKind.LOCAL, 1, 0)
+_register(Op.POP, OperandKind.NONE, 1, 0)
+_register(Op.DUP, OperandKind.NONE, 1, 2)
+_register(Op.SWAP, OperandKind.NONE, 2, 2)
+for _op in _ARITH_BINARY:
+    _register(_op, OperandKind.NONE, 2, 1)
+_register(Op.NEG, OperandKind.NONE, 1, 1)
+_register(Op.GOTO, OperandKind.TARGET, 0, 0, is_branch=True,
+          is_terminator=True)
+for _op in _CMP_BRANCHES:
+    _register(_op, OperandKind.TARGET, 2, 0, is_branch=True)
+_register(Op.IF_NULL, OperandKind.TARGET, 1, 0, is_branch=True)
+_register(Op.IF_NONNULL, OperandKind.TARGET, 1, 0, is_branch=True)
+_register(Op.NEW, OperandKind.CLASS, 0, 1, has_side_effect=True)
+_register(Op.GETFIELD, OperandKind.FIELD, 1, 1)
+_register(Op.PUTFIELD, OperandKind.FIELD, 2, 0, has_side_effect=True)
+_register(Op.GETSTATIC, OperandKind.FIELD, 0, 1)
+_register(Op.PUTSTATIC, OperandKind.FIELD, 1, 0, has_side_effect=True)
+_register(Op.NEWARRAY, OperandKind.CLASS, 1, 1, has_side_effect=True)
+_register(Op.ALOAD, OperandKind.NONE, 2, 1)
+_register(Op.ASTORE, OperandKind.NONE, 3, 0, has_side_effect=True)
+_register(Op.ARRAYLENGTH, OperandKind.NONE, 1, 1)
+_register(Op.INSTANCEOF, OperandKind.CLASS, 1, 1)
+_register(Op.CHECKCAST, OperandKind.CLASS, 1, 1)
+_register(Op.INVOKESTATIC, OperandKind.METHOD, -1, -1, has_side_effect=True)
+_register(Op.INVOKEVIRTUAL, OperandKind.METHOD, -1, -1, has_side_effect=True)
+_register(Op.INVOKESPECIAL, OperandKind.METHOD, -1, -1, has_side_effect=True)
+_register(Op.MONITORENTER, OperandKind.NONE, 1, 0, has_side_effect=True)
+_register(Op.MONITOREXIT, OperandKind.NONE, 1, 0, has_side_effect=True)
+_register(Op.RETURN, OperandKind.NONE, 0, 0, is_terminator=True)
+_register(Op.RETURN_VALUE, OperandKind.NONE, 1, 0, is_terminator=True)
+_register(Op.THROW, OperandKind.NONE, 1, 0, is_terminator=True)
+
+#: Branch opcodes that compare two integer operands.
+INT_COMPARE_BRANCHES = frozenset(
+    (Op.IF_EQ, Op.IF_NE, Op.IF_LT, Op.IF_LE, Op.IF_GT, Op.IF_GE))
+
+#: Branch opcodes that compare two reference operands.
+REF_COMPARE_BRANCHES = frozenset((Op.IF_ACMP_EQ, Op.IF_ACMP_NE))
+
+#: Branch opcodes testing a single reference against null.
+NULL_BRANCHES = frozenset((Op.IF_NULL, Op.IF_NONNULL))
+
+#: All conditional branch opcodes.
+CONDITIONAL_BRANCHES = (INT_COMPARE_BRANCHES | REF_COMPARE_BRANCHES
+                        | NULL_BRANCHES)
+
+#: Opcodes that end a basic block.
+BLOCK_TERMINATORS = frozenset(
+    op for op, info in OP_INFO.items()
+    if info.is_terminator or info.is_branch)
+
+#: Opcodes that invoke another method.
+INVOKES = frozenset((Op.INVOKESTATIC, Op.INVOKEVIRTUAL, Op.INVOKESPECIAL))
+
+
+def info(op):
+    """Return the :class:`OpInfo` for *op*."""
+    return OP_INFO[op]

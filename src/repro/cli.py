@@ -1,0 +1,158 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro run FILE --entry Main.run --args 100 [--config pea]
+    python -m repro compile FILE --method Main.run [--dump-ir] [--dot F]
+    python -m repro disasm FILE
+    python -m repro table1 [...]        (delegates to benchsuite.table1)
+    python -m repro comparison [...]    (delegates to .comparison)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bytecode import Interpreter, disassemble_program
+from .frontend import build_graph
+from .ir import dump_graph, to_dot
+from .jit import VM, Compiler, CompilerConfig
+from .lang import compile_source
+
+CONFIGS = {
+    "interp": None,
+    "no-ea": CompilerConfig.no_ea,
+    "equi": CompilerConfig.equi_escape,
+    "pea": CompilerConfig.partial_escape,
+}
+
+
+def _load(path: str):
+    with open(path) as handle:
+        return compile_source(handle.read())
+
+
+def cmd_run(args) -> int:
+    program = _load(args.file)
+    call_args = [int(a) for a in args.args]
+    if args.config == "interp":
+        interp = Interpreter(program)
+        result = interp.call(args.entry, *call_args)
+        stats = interp.heap.stats
+        cycles = ""
+    else:
+        vm = VM(program, CONFIGS[args.config]())
+        for _ in range(args.warmup):
+            vm.call(args.entry, *call_args)
+            program.reset_statics()
+        heap_before = vm.heap_snapshot()
+        cycles_before = vm.cycles_snapshot()
+        result = vm.call(args.entry, *call_args)
+        stats = vm.heap_snapshot().delta(heap_before)
+        cycles = f"  cycles={vm.cycles_snapshot() - cycles_before:,.0f}"
+    print(f"result: {result}")
+    print(f"allocations={stats.allocations}  "
+          f"bytes={stats.allocated_bytes}  "
+          f"monitors={stats.monitor_enters}/{stats.monitor_exits}"
+          f"{cycles}")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    program = _load(args.file)
+    method = program.method(args.method)
+    config = CONFIGS.get(args.config, CompilerConfig.partial_escape)
+    if config is None:
+        print("cannot compile with --config interp", file=sys.stderr)
+        return 2
+    compiler = Compiler(program, config())
+    result = compiler.compile(method)
+    print(f"{args.method}: {result.node_count} IR nodes")
+    if args.timings:
+        for timing in compiler.last_timings:
+            marker = "*" if timing.changed else " "
+            print(f"  {marker} {timing.phase:<28} "
+                  f"{timing.seconds * 1000:8.2f} ms")
+    ea = result.ea_result
+    print(f"escape analysis: virtualized={ea.virtualized_allocations} "
+          f"materializations={ea.materializations} "
+          f"monitor_pairs_removed={ea.removed_monitor_pairs}")
+    if args.dump_ir:
+        print(dump_graph(result.graph, include_floating=False))
+    if args.dot:
+        with open(args.dot, "w") as handle:
+            handle.write(to_dot(result.graph))
+        print(f"wrote {args.dot}")
+    if args.html:
+        from .ir.htmlviz import write_html
+        write_html(result.graph, args.html)
+        print(f"wrote {args.html}")
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    print(disassemble_program(_load(args.file)))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Partial Escape Analysis reproduction toolchain")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="execute a program on a chosen engine")
+    run_parser.add_argument("file")
+    run_parser.add_argument("--entry", default="Main.main")
+    run_parser.add_argument("--args", nargs="*", default=[])
+    run_parser.add_argument("--config", choices=sorted(CONFIGS),
+                            default="pea")
+    run_parser.add_argument("--warmup", type=int, default=30)
+    run_parser.set_defaults(func=cmd_run)
+
+    compile_parser = subparsers.add_parser(
+        "compile", help="compile one method and report/dump the IR")
+    compile_parser.add_argument("file")
+    compile_parser.add_argument("--method", required=True)
+    compile_parser.add_argument("--config", choices=["no-ea", "equi",
+                                                     "pea"],
+                                default="pea")
+    compile_parser.add_argument("--dump-ir", action="store_true")
+    compile_parser.add_argument("--timings", action="store_true",
+                                help="print per-phase compile times "
+                                     "(* = phase changed the graph)")
+    compile_parser.add_argument("--dot")
+    compile_parser.add_argument("--html",
+                                help="write a standalone HTML/SVG "
+                                     "visualization of the graph")
+    compile_parser.set_defaults(func=cmd_compile)
+
+    disasm_parser = subparsers.add_parser(
+        "disasm", help="disassemble a program's bytecode")
+    disasm_parser.add_argument("file")
+    disasm_parser.set_defaults(func=cmd_disasm)
+
+    for name, module in (("table1", "table1"),
+                         ("comparison", "comparison")):
+        bench_parser = subparsers.add_parser(
+            name, help=f"run the benchsuite {name} report",
+            add_help=False)
+        bench_parser.add_argument("rest", nargs=argparse.REMAINDER)
+
+        def delegate(args, _module=module):
+            import importlib
+            mod = importlib.import_module(
+                f"repro.benchsuite.{_module}")
+            mod.main(args.rest)
+            return 0
+
+        bench_parser.set_defaults(func=delegate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,9 @@
+"""Bytecode -> IR graph construction."""
+
+from .blocks import BasicBlock, BlockGraph, IrreducibleLoopError
+from .frame import BuilderFrame
+from .graph_builder import GraphBuildError, GraphBuilder, build_graph
+
+__all__ = ["BasicBlock", "BlockGraph", "IrreducibleLoopError",
+           "BuilderFrame", "GraphBuildError", "GraphBuilder",
+           "build_graph"]

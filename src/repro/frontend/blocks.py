@@ -1,0 +1,213 @@
+"""Basic-block analysis over bytecode: CFG, dominators, loop headers.
+
+The graph builder processes blocks in reverse post order and needs to
+know, for every block, its forward predecessors and whether it is a loop
+header (the target of a back edge).  Back edges are classified by
+dominance (edge ``u -> v`` is a back edge iff ``v`` dominates ``u``),
+which also rejects irreducible control flow — our bytecode producers
+only emit reducible graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..bytecode.classfile import JMethod
+from ..bytecode.opcodes import Op, info
+
+
+class IrreducibleLoopError(Exception):
+    """The bytecode contains irreducible control flow."""
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line bytecode range [start, end] (inclusive)."""
+
+    index: int  # dense block id
+    start: int  # first bci
+    end: int  # last bci (the terminator, or last instruction)
+    successors: List[int] = field(default_factory=list)
+    predecessors: List[int] = field(default_factory=list)
+    is_loop_header: bool = False
+    #: Predecessor block ids whose edge into this block is a back edge.
+    back_edge_preds: List[int] = field(default_factory=list)
+
+    def forward_predecessors(self) -> List[int]:
+        return [p for p in self.predecessors
+                if p not in self.back_edge_preds]
+
+
+class BlockGraph:
+    """The CFG of one method's bytecode."""
+
+    def __init__(self, method: JMethod):
+        self.method = method
+        self.blocks: List[BasicBlock] = []
+        self.block_of_bci: Dict[int, int] = {}
+        self.rpo: List[int] = []
+        self.idom: List[Optional[int]] = []
+        self._build()
+
+    # -- construction ------------------------------------------------------
+
+    def _build(self):
+        code = self.method.code
+        leaders = self._find_leaders(code)
+        starts = sorted(leaders)
+        # Create blocks.
+        for index, start in enumerate(starts):
+            end = (starts[index + 1] - 1 if index + 1 < len(starts)
+                   else len(code) - 1)
+            # The block may end earlier at a terminator.
+            for bci in range(start, end + 1):
+                self.block_of_bci[bci] = index
+            self.blocks.append(BasicBlock(index, start, end))
+        # Edges.
+        for block in self.blocks:
+            terminator = code[block.end]
+            op = terminator.op
+            op_info = info(op)
+            targets: List[int] = []
+            if op_info.is_branch:
+                targets.append(terminator.operand)
+                if op is not Op.GOTO:
+                    targets.append(block.end + 1)
+            elif not op_info.is_terminator:
+                targets.append(block.end + 1)
+            for target in targets:
+                succ = self.block_of_bci[target]
+                if self.blocks[succ].start != target:
+                    raise AssertionError(
+                        f"branch target {target} is not a leader")
+                block.successors.append(succ)
+                self.blocks[succ].predecessors.append(block.index)
+        self._compute_order_and_dominators()
+        self._classify_back_edges()
+
+    @staticmethod
+    def _find_leaders(code) -> Set[int]:
+        leaders = {0}
+        for bci, insn in enumerate(code):
+            op_info = info(insn.op)
+            if op_info.is_branch:
+                leaders.add(insn.operand)
+                if bci + 1 < len(code):
+                    leaders.add(bci + 1)
+            elif op_info.is_terminator and bci + 1 < len(code):
+                leaders.add(bci + 1)
+        return {bci for bci in leaders if bci < len(code)}
+
+    def _compute_order_and_dominators(self):
+        # Iterative DFS post-order from block 0.
+        visited: Set[int] = set()
+        post: List[int] = []
+        stack: List[Tuple[int, int]] = [(0, 0)]
+        visited.add(0)
+        while stack:
+            block_id, succ_index = stack.pop()
+            successors = self.blocks[block_id].successors
+            if succ_index < len(successors):
+                stack.append((block_id, succ_index + 1))
+                succ = successors[succ_index]
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, 0))
+            else:
+                post.append(block_id)
+        self.rpo = list(reversed(post))
+        self.reachable = visited
+        # Prune edges from unreachable blocks.
+        for block in self.blocks:
+            if block.index not in visited:
+                for succ in block.successors:
+                    succ_block = self.blocks[succ]
+                    if block.index in succ_block.predecessors:
+                        succ_block.predecessors.remove(block.index)
+                block.successors = []
+
+        # Cooper-Harvey-Kennedy iterative dominators.
+        rpo_index = {b: i for i, b in enumerate(self.rpo)}
+        idom: Dict[int, int] = {0: 0}
+        changed = True
+        while changed:
+            changed = False
+            for block_id in self.rpo:
+                if block_id == 0:
+                    continue
+                preds = [p for p in self.blocks[block_id].predecessors
+                         if p in idom]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for pred in preds[1:]:
+                    new_idom = self._intersect(new_idom, pred, idom,
+                                               rpo_index)
+                if idom.get(block_id) != new_idom:
+                    idom[block_id] = new_idom
+                    changed = True
+        self.idom = [idom.get(b.index) for b in self.blocks]
+
+    @staticmethod
+    def _intersect(a: int, b: int, idom: Dict[int, int],
+                   rpo_index: Dict[int, int]) -> int:
+        while a != b:
+            while rpo_index[a] > rpo_index[b]:
+                a = idom[a]
+            while rpo_index[b] > rpo_index[a]:
+                b = idom[b]
+        return a
+
+    def dominates(self, a: int, b: int) -> bool:
+        """True if block *a* dominates block *b*."""
+        current: Optional[int] = b
+        while True:
+            if current == a:
+                return True
+            if current == 0:
+                return False
+            current = self.idom[current]
+            if current is None:
+                return False
+
+    def _classify_back_edges(self):
+        for block in self.blocks:
+            if block.index not in self.reachable:
+                continue
+            for succ in block.successors:
+                if self.dominates(succ, block.index):
+                    succ_block = self.blocks[succ]
+                    succ_block.is_loop_header = True
+                    succ_block.back_edge_preds.append(block.index)
+        # Reducibility check: every retreating edge must be a back edge.
+        rpo_index = {b: i for i, b in enumerate(self.rpo)}
+        for block in self.blocks:
+            if block.index not in self.reachable:
+                continue
+            for succ in block.successors:
+                if rpo_index.get(succ, 0) <= rpo_index.get(block.index, 0):
+                    if block.index not in \
+                            self.blocks[succ].back_edge_preds:
+                        raise IrreducibleLoopError(
+                            f"{self.method.qualified_name}: retreating "
+                            f"edge {block.index}->{succ} is not a back "
+                            "edge")
+
+    # -- queries ------------------------------------------------------------
+
+    def block_at(self, bci: int) -> BasicBlock:
+        return self.blocks[self.block_of_bci[bci]]
+
+    def loop_blocks(self, header: int) -> Set[int]:
+        """All blocks in the natural loop of *header*."""
+        header_block = self.blocks[header]
+        members: Set[int] = {header}
+        worklist = list(header_block.back_edge_preds)
+        while worklist:
+            block_id = worklist.pop()
+            if block_id in members:
+                continue
+            members.add(block_id)
+            worklist.extend(self.blocks[block_id].predecessors)
+        return members

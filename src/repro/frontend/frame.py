@@ -1,0 +1,46 @@
+"""The abstract frame used during SSA construction."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..ir.node import Node
+
+
+class BuilderFrame:
+    """Local variable and operand stack contents as IR value nodes."""
+
+    __slots__ = ("locals", "stack")
+
+    def __init__(self, locals_: List[Node], stack: Optional[List[Node]]
+                 = None):
+        self.locals = locals_
+        self.stack = stack if stack is not None else []
+
+    def copy(self) -> "BuilderFrame":
+        return BuilderFrame(list(self.locals), list(self.stack))
+
+    def push(self, value: Node):
+        self.stack.append(value)
+
+    def pop(self) -> Node:
+        return self.stack.pop()
+
+    def pop_many(self, count: int) -> List[Node]:
+        if count == 0:
+            return []
+        values = self.stack[-count:]
+        del self.stack[-count:]
+        return values
+
+    def slots(self) -> List[Node]:
+        """All value slots, locals first then stack."""
+        return self.locals + self.stack
+
+    def set_slots(self, values: List[Node]):
+        local_count = len(self.locals)
+        self.locals = values[:local_count]
+        self.stack = values[local_count:]
+
+    def __repr__(self):
+        return f"BuilderFrame(locals={self.locals}, stack={self.stack})"

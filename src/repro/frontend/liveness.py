@@ -1,0 +1,64 @@
+"""Local-variable liveness over bytecode.
+
+Graal clears non-live locals when building frame states and loop phis
+("clearNonLiveLocals"); without this, stale object references linger in
+local slots, creating phantom loop-carried values that force Partial
+Escape Analysis to materialize objects that are actually dead.
+
+Standard backward dataflow: ``LOAD n`` uses slot *n*, ``STORE n``
+defines it.  The result answers "is local *n* live immediately before
+*bci*?".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..bytecode.classfile import JMethod
+from ..bytecode.opcodes import Op, info
+from .blocks import BlockGraph
+
+
+class LocalLiveness:
+    def __init__(self, block_graph: BlockGraph):
+        self.method = block_graph.method
+        self.block_graph = block_graph
+        #: live-before sets, one per bci.
+        self._live_before: List[Set[int]] = [
+            set() for _ in self.method.code]
+        self._compute()
+
+    # -- queries ----------------------------------------------------------
+
+    def live_before(self, bci: int) -> Set[int]:
+        return self._live_before[bci]
+
+    def is_live_before(self, bci: int, slot: int) -> bool:
+        return slot in self._live_before[bci]
+
+    # -- analysis -----------------------------------------------------------
+
+    def _compute(self):
+        code = self.method.code
+        blocks = self.block_graph.blocks
+        live_in: Dict[int, Set[int]] = {b.index: set() for b in blocks}
+        changed = True
+        while changed:
+            changed = False
+            # Reverse RPO approximates post-order for fast convergence.
+            for block in reversed([
+                    blocks[i] for i in self.block_graph.rpo]):
+                live = set()
+                for succ in block.successors:
+                    live |= live_in[succ]
+                for bci in range(block.end, block.start - 1, -1):
+                    insn = code[bci]
+                    if insn.op is Op.STORE:
+                        live.discard(insn.operand)
+                    elif insn.op is Op.LOAD:
+                        live.add(insn.operand)
+                    self._live_before[bci] = set(live)
+                if live != live_in[block.index]:
+                    live_in[block.index] = live
+                    changed = True
+        self.live_in = live_in

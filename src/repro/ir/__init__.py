@@ -1,0 +1,16 @@
+"""Graal-style sea-of-nodes SSA intermediate representation."""
+
+from . import nodes
+from .dot import to_dot
+from .htmlviz import render_html, write_html
+from .graph import Graph
+from .node import (ControlSinkNode, ControlSplitNode, FixedNode,
+                   FixedWithNextNode, FloatingNode, IRError, Node,
+                   NodeInputList)
+from .printer import dump_graph, format_node
+
+__all__ = [
+    "nodes", "to_dot", "render_html", "write_html", "Graph", "ControlSinkNode", "ControlSplitNode",
+    "FixedNode", "FixedWithNextNode", "FloatingNode", "IRError", "Node",
+    "NodeInputList", "dump_graph", "format_node",
+]

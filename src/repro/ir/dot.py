@@ -1,0 +1,34 @@
+"""Graphviz export of IR graphs (control edges bold and downward, data
+edges thin and upward, matching the paper's Figure 2 conventions)."""
+
+from __future__ import annotations
+
+from .graph import Graph
+from .nodes.framestate import FrameStateNode
+
+
+def to_dot(graph: Graph, include_framestates: bool = False) -> str:
+    """Render *graph* as a Graphviz ``digraph`` string."""
+    lines = ["digraph ir {", '  node [shape=box, fontname="monospace"];']
+    for node in graph.nodes():
+        if not include_framestates and isinstance(node, FrameStateNode):
+            continue
+        label = repr(node).replace('"', '\\"')
+        style = ""
+        if node.is_fixed:
+            style = ', style=filled, fillcolor="#ffe0a0"'
+        lines.append(f'  n{node.id} [label="{label}"{style}];')
+    for node in graph.nodes():
+        if not include_framestates and isinstance(node, FrameStateNode):
+            continue
+        for name, inp in node.named_inputs():
+            if not include_framestates and isinstance(inp, FrameStateNode):
+                continue
+            lines.append(
+                f'  n{node.id} -> n{inp.id} '
+                f'[label="{name}", color=gray, fontsize=9];')
+        for succ in node.successors():
+            lines.append(
+                f"  n{node.id} -> n{succ.id} [style=bold, weight=10];")
+    lines.append("}")
+    return "\n".join(lines)

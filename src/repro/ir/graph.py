@@ -1,0 +1,214 @@
+"""The IR graph container."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+from .node import (FixedNode, FixedWithNextNode, IRError, Node,
+                   NodeInputList)
+from .nodes.control import (BeginNode, DeoptimizeNode, EndNode, IfNode,
+                            LoopBeginNode, LoopEndNode, LoopExitNode,
+                            MergeNode, ReturnNode, StartNode)
+from .nodes.framestate import FrameStateNode
+from .nodes.values import ConstantNode, ParameterNode, PhiNode
+
+
+class Graph:
+    """A compilation unit's IR: a registry of nodes rooted at ``start``.
+
+    Nodes may be created detached (``graph=None``) and registered later
+    with :meth:`add`; this is how Partial Escape Analysis builds its
+    deferred effects.
+    """
+
+    def __init__(self, method=None):
+        #: The JMethod this graph was built from (for frame states/dumps).
+        self.method = method
+        self._nodes: Dict[int, Node] = {}
+        self._next_id = 0
+        self._constants: Dict[Any, ConstantNode] = {}
+        self.start: Optional[StartNode] = None
+        self.parameters: List[ParameterNode] = []
+
+    # -- registration ---------------------------------------------------
+
+    def add(self, node: Node) -> Node:
+        """Register *node* (and, transitively, any detached inputs)."""
+        if node.graph is self:
+            return node
+        if node.graph is not None:
+            raise IRError(f"{node} already belongs to another graph")
+        node.graph = self
+        node.id = self._next_id
+        self._next_id += 1
+        self._nodes[node.id] = node
+        for inp in node.inputs():
+            if inp.graph is None:
+                self.add(inp)
+        return node
+
+    def _unregister(self, node: Node):
+        self._nodes.pop(node.id, None)
+        node.graph = None
+
+    def adopt(self, node: Node) -> Node:
+        """Move *node* from another graph into this one (inlining)."""
+        if node.graph is self:
+            return node
+        if node.graph is not None:
+            node.graph._unregister(node)
+        node.graph = None
+        return self.add(node)
+
+    def nodes(self) -> Iterator[Node]:
+        """All registered nodes in id order (stable)."""
+        return iter(list(self._nodes.values()))
+
+    def nodes_of(self, *types) -> Iterator[Node]:
+        for node in self.nodes():
+            if isinstance(node, types):
+                yield node
+
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: Node) -> bool:
+        return node.graph is self
+
+    # -- factories ---------------------------------------------------------
+
+    def constant(self, value) -> ConstantNode:
+        """The unique ConstantNode for *value* (constants are GVN'd at
+        creation)."""
+        key = (type(value).__name__, value)
+        existing = self._constants.get(key)
+        if existing is not None and existing.graph is self:
+            return existing
+        node = self.add(ConstantNode(value))
+        self._constants[key] = node
+        return node
+
+    @property
+    def null(self) -> ConstantNode:
+        return self.constant(None)
+
+    # -- fixed-node surgery ----------------------------------------------------
+
+    def insert_before(self, anchor: FixedNode, node: FixedWithNextNode):
+        """Splice *node* into control flow immediately before *anchor*."""
+        self.add(node)
+        predecessor = anchor.predecessor
+        if predecessor is None:
+            raise IRError(f"{anchor} has no predecessor")
+        self._replace_successor(predecessor, anchor, node)
+        node.next = anchor
+
+    def insert_after(self, anchor: FixedWithNextNode,
+                     node: FixedWithNextNode):
+        """Splice *node* into control flow immediately after *anchor*."""
+        self.add(node)
+        successor = anchor.next
+        anchor.next = node
+        node.next = successor
+
+    @staticmethod
+    def _replace_successor(predecessor: Node, old: Node, new: Node):
+        for name in predecessor._all_successor_slots():
+            if predecessor._succs.get(name) is old:
+                setattr(predecessor, name, new)
+                return
+        raise IRError(f"{old} is not a successor of {predecessor}")
+
+    def remove_fixed(self, node: FixedWithNextNode):
+        """Unlink a fixed-with-next node from control flow and delete it.
+
+        The node must have no remaining (value) usages.
+        """
+        successor = node.next
+        predecessor = node.predecessor
+        node.next = None
+        if predecessor is not None:
+            self._replace_successor(predecessor, node, successor)
+        node.replace_at_usages(None)  # only frame states may linger
+        node.safe_delete()
+
+    def replace_fixed(self, node: FixedWithNextNode, replacement: Node):
+        """Replace a fixed node's value with *replacement* at all usages,
+        then unlink and delete it."""
+        node.replace_at_usages(replacement)
+        self.remove_fixed(node)
+
+    # -- verification -------------------------------------------------------------
+
+    def verify(self):
+        """Check structural invariants; raises IRError on violation."""
+        for node in self.nodes():
+            if node.id not in self._nodes or self._nodes[node.id] is not \
+                    node:
+                raise IRError(f"{node} broken registration")
+            for inp in node.inputs():
+                if inp.graph is not self:
+                    raise IRError(
+                        f"{node} has unregistered input {inp}")
+                if node not in inp._usages:
+                    raise IRError(
+                        f"{node} missing from usages of its input {inp}")
+            for succ in node.successors():
+                if succ.graph is not self:
+                    raise IRError(
+                        f"{node} has unregistered successor {succ}")
+                if succ.predecessor is not node:
+                    raise IRError(
+                        f"{succ}.predecessor is {succ.predecessor}, "
+                        f"expected {node}")
+            if isinstance(node, MergeNode):
+                arity = node.phi_input_count()
+                for phi in node.phis():
+                    if len(phi.values) != arity:
+                        raise IRError(
+                            f"{phi} has {len(phi.values)} inputs, merge "
+                            f"{node} expects {arity}")
+                for end in node.ends:
+                    if not isinstance(end, EndNode):
+                        raise IRError(f"{node} end {end} is not an End")
+            if isinstance(node, PhiNode):
+                if node.merge is None or node.merge.graph is not self:
+                    raise IRError(f"{phi_desc(node)} has no merge")
+            if isinstance(node, FixedWithNextNode):
+                if node.next is None and node.graph is self:
+                    raise IRError(f"{node} has no next")
+        if self.start is not None:
+            self._verify_reachability()
+
+    def _verify_reachability(self):
+        """Every fixed node reachable from start must be registered and
+        form a well-formed control-flow graph."""
+        seen = set()
+        worklist: List[Node] = [self.start]
+        while worklist:
+            node = worklist.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if node.graph is not self:
+                raise IRError(f"reachable node {node} not registered")
+            for succ in node.successors():
+                worklist.append(succ)
+            if isinstance(node, EndNode):
+                merge = node.merge()
+                if merge is None:
+                    raise IRError(f"{node} feeds no merge")
+                worklist.append(merge)
+            if isinstance(node, LoopEndNode):
+                if node.loop_begin is None:
+                    raise IRError(f"{node} has no loop begin")
+
+    # -- dump helper --------------------------------------------------------
+
+    def __repr__(self):
+        name = self.method.qualified_name if self.method else "?"
+        return f"<Graph {name}: {self.node_count()} nodes>"
+
+
+def phi_desc(phi: PhiNode) -> str:
+    return repr(phi)

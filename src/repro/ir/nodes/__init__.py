@@ -1,0 +1,39 @@
+"""All IR node classes, re-exported flat."""
+
+from .calls import InvokeNode
+from .control import (BeginNode, DeoptimizeNode, EndNode, IfNode,
+                      LoopBeginNode, LoopEndNode, LoopExitNode, MergeNode,
+                      ReturnNode, StartNode)
+from .framestate import FrameStateNode
+from .guards import FixedGuardNode
+from .memory import (AccessFieldNode, ArrayLengthNode, LoadFieldNode,
+                     LoadIndexedNode, LoadStaticNode, StateSplitMixin,
+                     StoreFieldNode, StoreIndexedNode, StoreStaticNode)
+from .objects import (InstanceOfNode, IsNullNode, NewArrayNode,
+                      NewInstanceNode, RefEqualsNode)
+from .sync import MonitorEnterNode, MonitorExitNode
+from .values import (ARITHMETIC_EVAL, COMMUTATIVE_OPS, COMPARE_EVAL,
+                     MIRRORED_COMPARE, NEGATED_COMPARE,
+                     BinaryArithmeticNode, ConditionalNode, ConstantNode,
+                     IntCompareNode, NegNode, ParameterNode, PhiNode)
+from .virtual import (EscapeObjectStateNode, VirtualArrayNode,
+                      VirtualInstanceNode, VirtualObjectNode)
+
+__all__ = [
+    "InvokeNode",
+    "BeginNode", "DeoptimizeNode", "EndNode", "IfNode", "LoopBeginNode",
+    "LoopEndNode", "LoopExitNode", "MergeNode", "ReturnNode", "StartNode",
+    "FrameStateNode", "FixedGuardNode",
+    "AccessFieldNode", "ArrayLengthNode", "LoadFieldNode",
+    "LoadIndexedNode", "LoadStaticNode", "StateSplitMixin",
+    "StoreFieldNode", "StoreIndexedNode", "StoreStaticNode",
+    "InstanceOfNode", "IsNullNode", "NewArrayNode", "NewInstanceNode",
+    "RefEqualsNode",
+    "MonitorEnterNode", "MonitorExitNode",
+    "ARITHMETIC_EVAL", "COMMUTATIVE_OPS", "COMPARE_EVAL",
+    "MIRRORED_COMPARE", "NEGATED_COMPARE", "BinaryArithmeticNode",
+    "ConditionalNode", "ConstantNode", "IntCompareNode", "NegNode",
+    "ParameterNode", "PhiNode",
+    "EscapeObjectStateNode", "VirtualArrayNode", "VirtualInstanceNode",
+    "VirtualObjectNode",
+]

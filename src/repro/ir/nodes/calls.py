@@ -1,0 +1,48 @@
+"""Method invocation nodes."""
+
+from __future__ import annotations
+
+from ...bytecode.instructions import MethodRef
+from ..node import FixedWithNextNode
+from .memory import StateSplitMixin
+
+
+class InvokeNode(StateSplitMixin, FixedWithNextNode):
+    """A (not yet inlined) call.
+
+    ``kind`` is ``"static"``, ``"virtual"`` or ``"special"``.  ``bci`` is
+    the position of the invoke in the *surrounding* method's bytecode,
+    used to build outer frame states when the callee is inlined.
+
+    ``state_before`` (virtual calls only) captures the frame *including
+    the arguments still on the stack*: it is the deopt target of the
+    type-speculation guard inserted by profile-guided inlining — the
+    interpreter re-executes the invokevirtual and dispatches honestly.
+
+    Any reference argument of a non-inlined invoke escapes: the callee is
+    outside the compilation scope.
+    """
+
+    _input_slots = ("state_before",)
+    _input_lists = ("arguments",)
+
+    def __init__(self, kind: str, target: MethodRef, return_type: str,
+                 bci: int, **inputs):
+        super().__init__(**inputs)
+        self.kind = kind
+        self.target = target
+        self.return_type = return_type
+        self.bci = bci
+        #: The method whose bytecode contains this invoke (profiling key).
+        self.source_method = None
+
+    @property
+    def arguments(self):
+        return self.input_list("arguments")
+
+    @property
+    def has_value(self) -> bool:
+        return self.return_type != "void"
+
+    def extra_repr(self):
+        return f"{self.kind} {self.target}"

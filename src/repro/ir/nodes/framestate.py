@@ -1,0 +1,76 @@
+"""Frame states: the mapping from optimized code back to Java VM state.
+
+A :class:`FrameStateNode` records, for one method activation, the bytecode
+position plus the values of all local variables, the expression stack and
+the held method-level locks.  After inlining, states form chains through
+``outer`` (the caller's state at the invoke), exactly as described in
+Section 2 of the paper.
+
+Deoptimization semantics implemented by :mod:`repro.runtime.deopt`:
+
+- the *innermost* state's ``bci`` names the instruction to re-execute;
+- each *outer* state's ``bci`` names the invoke whose result is pending —
+  the interpreter resumes at ``bci + 1`` after pushing the callee result.
+
+After Partial Escape Analysis, a frame state may reference
+:class:`~repro.ir.nodes.virtual.VirtualObjectNode`s; the matching
+:class:`~repro.ir.nodes.virtual.EscapeObjectStateNode` entries in
+``virtual_mappings`` carry enough information to rematerialize those
+objects (Section 5.5, Figure 8).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..node import FloatingNode
+
+
+class FrameStateNode(FloatingNode):
+    """Java VM state at one position of one (possibly inlined) method."""
+
+    _input_slots = ("outer",)
+    _input_lists = ("locals_values", "stack_values", "locks",
+                    "virtual_mappings")
+
+    def __init__(self, method, bci: int, **inputs):
+        super().__init__(**inputs)
+        self.method = method
+        self.bci = bci
+
+    @property
+    def locals_values(self):
+        return self.input_list("locals_values")
+
+    @property
+    def stack_values(self):
+        return self.input_list("stack_values")
+
+    @property
+    def locks(self):
+        return self.input_list("locks")
+
+    @property
+    def virtual_mappings(self):
+        return self.input_list("virtual_mappings")
+
+    def outer_chain(self):
+        """Yield this state and all outer states, innermost first."""
+        state: Optional[FrameStateNode] = self
+        while state is not None:
+            yield state
+            state = state.outer
+
+    def find_mapping(self, virtual_object):
+        """The EscapeObjectStateNode for *virtual_object*, or None,
+        searching the whole outer chain."""
+        for state in self.outer_chain():
+            for mapping in state.virtual_mappings:
+                if mapping is not None and \
+                        mapping.virtual_object is virtual_object:
+                    return mapping
+        return None
+
+    def extra_repr(self):
+        name = self.method.qualified_name if self.method else "?"
+        return f"@{name}:{self.bci}"

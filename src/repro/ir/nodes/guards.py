@@ -1,0 +1,33 @@
+"""Speculation: guards that deoptimize instead of raising exceptions.
+
+Graal compiles potentially-trapping operations (null checks, bounds
+checks, casts, division) as a *guard* followed by the trap-free
+operation.  When a guard fails, execution deoptimizes to the interpreter,
+which re-executes the guarded bytecode and raises the proper error.  The
+paper's Section 5.5 machinery (virtual objects in frame states) exists
+precisely so these deoptimizations still work after scalar replacement.
+"""
+
+from __future__ import annotations
+
+from ..node import FixedWithNextNode
+
+
+class FixedGuardNode(FixedWithNextNode):
+    """Deoptimize to ``state`` unless ``condition`` has the expected value.
+
+    The guard passes when ``bool(condition) != negated``; i.e. with
+    ``negated=False`` the condition must be true (non-zero).
+    """
+
+    _input_slots = ("condition", "state")
+
+    def __init__(self, reason: str = "guard", negated: bool = False,
+                 **inputs):
+        super().__init__(**inputs)
+        self.reason = reason
+        self.negated = negated
+
+    def extra_repr(self):
+        polarity = "!" if self.negated else ""
+        return f"{polarity}{self.reason}"

@@ -1,0 +1,89 @@
+"""Memory access nodes.  All are fixed in control flow (see the module
+docstring of :mod:`repro.ir.node` for why) and the stores are
+"state splits": they carry the frame state *after* their side effect,
+exactly as described in Section 2 of the paper."""
+
+from __future__ import annotations
+
+from ...bytecode.instructions import FieldRef
+from ..node import FixedWithNextNode
+
+
+class StateSplitMixin:
+    """Mixin for nodes with an observable side effect.
+
+    ``state_after`` maps the machine state after this node back to Java VM
+    state; deoptimization at any later non-side-effecting node re-executes
+    from here.
+    """
+
+    _input_slots = ("state_after",)
+
+
+class AccessFieldNode(FixedWithNextNode):
+    """Base for instance field accesses."""
+
+    _input_slots = ("object",)
+    is_virtualizable = True
+
+    def __init__(self, field: FieldRef, **inputs):
+        super().__init__(**inputs)
+        self.field = field
+
+    def extra_repr(self):
+        return str(self.field)
+
+
+class LoadFieldNode(AccessFieldNode):
+    """Read ``object.field``."""
+
+
+class StoreFieldNode(StateSplitMixin, AccessFieldNode):
+    """Write ``object.field = value``."""
+
+    _input_slots = ("value",)
+
+
+class LoadStaticNode(FixedWithNextNode):
+    """Read a static field.  Never virtualizable — statics are global."""
+
+    def __init__(self, field: FieldRef, **inputs):
+        super().__init__(**inputs)
+        self.field = field
+
+    def extra_repr(self):
+        return str(self.field)
+
+
+class StoreStaticNode(StateSplitMixin, FixedWithNextNode):
+    """Write a static field; its value input escapes."""
+
+    _input_slots = ("value",)
+
+    def __init__(self, field: FieldRef, **inputs):
+        super().__init__(**inputs)
+        self.field = field
+
+    def extra_repr(self):
+        return str(self.field)
+
+
+class LoadIndexedNode(FixedWithNextNode):
+    """Read ``array[index]``."""
+
+    _input_slots = ("array", "index")
+    is_virtualizable = True
+
+
+class StoreIndexedNode(StateSplitMixin, FixedWithNextNode):
+    """Write ``array[index] = value``."""
+
+    _input_slots = ("array", "index", "value")
+    is_virtualizable = True
+
+
+class ArrayLengthNode(FixedWithNextNode):
+    """Read ``array.length``."""
+
+    _input_slots = ("array",)
+    is_virtualizable = True

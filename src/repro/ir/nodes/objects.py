@@ -1,0 +1,75 @@
+"""Allocation and reference-typed operations."""
+
+from __future__ import annotations
+
+from ..node import FixedWithNextNode
+
+
+class NewInstanceNode(FixedWithNextNode):
+    """Allocate an instance of ``class_name`` with default field values.
+
+    The primary target of Partial Escape Analysis: processing one of these
+    introduces a new virtual object into the allocation state
+    (Figure 4 (a) in the paper).
+    """
+
+    is_virtualizable = True
+
+    def __init__(self, class_name: str, **inputs):
+        super().__init__(**inputs)
+        self.class_name = class_name
+
+    def extra_repr(self):
+        return self.class_name
+
+
+class NewArrayNode(FixedWithNextNode):
+    """Allocate an array.  Virtualizable only when ``length`` is a
+    compile-time constant (the element states must be enumerable)."""
+
+    _input_slots = ("length",)
+    is_virtualizable = True
+
+    def __init__(self, elem_type: str, **inputs):
+        super().__init__(**inputs)
+        self.elem_type = elem_type
+
+    def extra_repr(self):
+        return f"{self.elem_type}[]"
+
+
+class RefEqualsNode(FixedWithNextNode):
+    """Reference equality ``x == y`` producing 0/1.
+
+    Virtualizable: "equality checks on object references are always false
+    when exactly one of the inputs is virtual; if both inputs are virtual,
+    the check will produce true if they refer to the same Id" (Section 5.2).
+    """
+
+    _input_slots = ("x", "y")
+    is_virtualizable = True
+
+
+class IsNullNode(FixedWithNextNode):
+    """``value == null`` producing 0/1.  A virtual object is never null."""
+
+    _input_slots = ("value",)
+    is_virtualizable = True
+
+
+class InstanceOfNode(FixedWithNextNode):
+    """``value instanceof class_name`` producing 0/1.
+
+    Virtualizable: "type checks on virtual objects can also be performed
+    at compile time, since the exact type is known" (Section 5.2).
+    """
+
+    _input_slots = ("value",)
+    is_virtualizable = True
+
+    def __init__(self, class_name: str, **inputs):
+        super().__init__(**inputs)
+        self.class_name = class_name
+
+    def extra_repr(self):
+        return self.class_name

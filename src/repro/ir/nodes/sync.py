@@ -1,0 +1,23 @@
+"""Synchronization nodes."""
+
+from __future__ import annotations
+
+from ..node import FixedWithNextNode
+from .memory import StateSplitMixin
+
+
+class MonitorEnterNode(StateSplitMixin, FixedWithNextNode):
+    """Acquire the monitor of ``object``.
+
+    Virtualizable: entering a monitor on a virtual object just increments
+    the object state's lock count (Figure 4 (c))."""
+
+    _input_slots = ("object",)
+    is_virtualizable = True
+
+
+class MonitorExitNode(StateSplitMixin, FixedWithNextNode):
+    """Release the monitor of ``object`` (Figure 4 (d))."""
+
+    _input_slots = ("object",)
+    is_virtualizable = True

@@ -1,0 +1,105 @@
+"""Virtual object nodes — the "Id" objects of the paper's Listing 7.
+
+A :class:`VirtualObjectNode` identifies one allocation that Partial Escape
+Analysis is tracking.  It carries the allocation's *shape* (type and field
+names / array length) but no values: the values live in the flow-sensitive
+allocation state during analysis, and in
+:class:`EscapeObjectStateNode` entries hung off frame states afterwards.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List
+
+from ..node import FloatingNode
+
+_virtual_ids = itertools.count(1)
+
+
+class VirtualObjectNode(FloatingNode):
+    """Base: the identity of a tracked allocation."""
+
+    def __init__(self, **inputs):
+        super().__init__(**inputs)
+        #: Display id matching the paper's "Key (1)" notation.
+        self.vid = next(_virtual_ids)
+
+    @property
+    def entry_count(self) -> int:
+        raise NotImplementedError
+
+    def entry_name(self, index: int) -> str:
+        raise NotImplementedError
+
+    def type_name(self) -> str:
+        raise NotImplementedError
+
+    def extra_repr(self):
+        return f"{self.type_name()} ({self.vid})"
+
+
+class VirtualInstanceNode(VirtualObjectNode):
+    """A tracked object instance; entries are its instance fields."""
+
+    def __init__(self, class_name: str, field_names: List[str], **inputs):
+        super().__init__(**inputs)
+        self.class_name = class_name
+        self.field_names = list(field_names)
+
+    @property
+    def entry_count(self) -> int:
+        return len(self.field_names)
+
+    def entry_name(self, index: int) -> str:
+        return self.field_names[index]
+
+    def field_index(self, name: str) -> int:
+        return self.field_names.index(name)
+
+    def type_name(self) -> str:
+        return self.class_name
+
+
+class VirtualArrayNode(VirtualObjectNode):
+    """A tracked array of compile-time-constant length."""
+
+    def __init__(self, elem_type: str, length: int, **inputs):
+        super().__init__(**inputs)
+        self.elem_type = elem_type
+        self.length = length
+
+    @property
+    def entry_count(self) -> int:
+        return self.length
+
+    def entry_name(self, index: int) -> str:
+        return f"[{index}]"
+
+    def type_name(self) -> str:
+        return f"{self.elem_type}[{self.length}]"
+
+
+class EscapeObjectStateNode(FloatingNode):
+    """A snapshot of a virtual object's contents attached to a frame state.
+
+    ``entries[i]`` is the runtime value of entry *i* of ``virtual_object``
+    at the frame state's position; an entry may itself be another
+    VirtualObjectNode (nested scalar-replaced objects).  ``lock_count``
+    restores elided locks on rematerialization.
+    """
+
+    _input_slots = ("virtual_object",)
+    _input_lists = ("entries",)
+
+    def __init__(self, lock_count: int = 0, **inputs):
+        super().__init__(**inputs)
+        self.lock_count = lock_count
+
+    @property
+    def entries(self):
+        return self.input_list("entries")
+
+    def extra_repr(self):
+        locks = f" locks={self.lock_count}" if self.lock_count else ""
+        return f"for {self.virtual_object}{locks}"

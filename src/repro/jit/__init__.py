@@ -1,0 +1,8 @@
+"""The tiered JIT virtual machine."""
+
+from .compiler import CompilationResult, Compiler
+from .options import CompilerConfig, EscapeAnalysisKind
+from .vm import VM
+
+__all__ = ["CompilationResult", "Compiler", "CompilerConfig",
+           "EscapeAnalysisKind", "VM"]

@@ -1,0 +1,97 @@
+"""The compilation pipeline: bytecode -> optimized graph.
+
+Mirrors Graal's structure: graph building, inlining, canonicalization and
+global value numbering, then (optionally) one of the escape analyses,
+then cleanup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..bytecode.classfile import JMethod, Program
+from ..bytecode.interpreter import Profile
+from ..frontend.graph_builder import build_graph
+from ..ir.graph import Graph
+from ..opt.canonicalize import CanonicalizerPhase
+from ..opt.dce import DeadCodeEliminationPhase
+from ..opt.gvn import GlobalValueNumberingPhase
+from ..opt.inlining import InliningPhase
+from ..opt.phase import PhasePlan
+from ..pea.equi_escape import EquiEscapePhase
+from ..pea.partial_escape import PartialEscapePhase, PEAResult
+from .options import CompilerConfig, EscapeAnalysisKind
+
+
+@dataclass
+class CompilationResult:
+    graph: Graph
+    #: Stats from the escape analysis (empty result when disabled).
+    ea_result: PEAResult
+    node_count: int
+
+
+class Compiler:
+    """Compiles methods of one program under one configuration."""
+
+    def __init__(self, program: Program, config: CompilerConfig,
+                 profile: Optional[Profile] = None):
+        self.program = program
+        self.config = config
+        self.profile = profile
+        #: PhaseTiming list from the most recent compile().
+        self.last_timings = []
+
+    def compile(self, method: JMethod) -> CompilationResult:
+        config = self.config
+        graph = build_graph(self.program, method, self.profile,
+                            config.speculate_branches,
+                            config.speculation_min_samples)
+
+        plan = PhasePlan()
+        if config.inline:
+            plan.append(InliningPhase(self.program,
+                                      config.inlining_policy,
+                                      self.profile,
+                                      config.speculate_branches,
+                                      config.speculation_min_samples,
+                                      config.speculate_types))
+        if config.canonicalize:
+            plan.append(CanonicalizerPhase())
+        if config.gvn:
+            plan.append(GlobalValueNumberingPhase())
+        if config.conditional_elimination:
+            from ..opt.conditional_elimination import \
+                ConditionalEliminationPhase
+            plan.append(ConditionalEliminationPhase())
+        plan.append(DeadCodeEliminationPhase())
+
+        ea_phase = None
+        if config.escape_analysis is EscapeAnalysisKind.PARTIAL:
+            ea_phase = PartialEscapePhase(
+                self.program, config.pea_iterations,
+                virtualize_arrays=config.pea_virtualize_arrays,
+                fold_virtual_checks=config.pea_fold_checks)
+        elif config.escape_analysis is EscapeAnalysisKind.EQUI_ESCAPE:
+            ea_phase = EquiEscapePhase(self.program)
+        if ea_phase is not None:
+            plan.append(ea_phase)
+            if config.canonicalize:
+                plan.append(CanonicalizerPhase())
+            if config.gvn:
+                plan.append(GlobalValueNumberingPhase())
+            plan.append(DeadCodeEliminationPhase())
+        if config.read_elimination:
+            from ..opt.read_elimination import ReadEliminationPhase
+            plan.append(ReadEliminationPhase())
+            plan.append(DeadCodeEliminationPhase())
+        if config.stack_allocation:
+            from ..opt.stack_allocation import StackAllocationPhase
+            plan.append(StackAllocationPhase(self.program))
+
+        plan.run(graph)
+        self.last_timings = plan.timings
+        ea_result = (ea_phase.last_result if ea_phase is not None
+                     and ea_phase.last_result is not None else PEAResult())
+        return CompilationResult(graph, ea_result, graph.node_count())

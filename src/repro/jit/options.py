@@ -1,0 +1,79 @@
+"""Compiler/VM configuration — the evaluation's configurations map to
+these flags (no EA / equi-escape EA / Partial Escape Analysis)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..opt.inlining import InliningPolicy
+from ..runtime.costmodel import CostModel
+
+
+class EscapeAnalysisKind(enum.Enum):
+    NONE = "none"
+    EQUI_ESCAPE = "equi-escape"  # flow-insensitive baseline (Section 6.2)
+    PARTIAL = "partial"  # the paper's contribution
+
+
+@dataclass
+class CompilerConfig:
+    """One VM configuration."""
+
+    escape_analysis: EscapeAnalysisKind = EscapeAnalysisKind.PARTIAL
+    inline: bool = True
+    inlining_policy: InliningPolicy = field(default_factory=InliningPolicy)
+    canonicalize: bool = True
+    gvn: bool = True
+    #: Invocations before a method is compiled.
+    compile_threshold: int = 20
+    #: Optimistic branch speculation (never-taken branches -> guards).
+    #: Profiling only happens while interpreted, so the sample floor must
+    #: sit below the compile threshold; bad speculation is repaired by
+    #: deopt + invalidation + recompile.
+    speculate_branches: bool = True
+    speculation_min_samples: int = 16
+    #: Profile-guided devirtualization of CHA-polymorphic calls.
+    speculate_types: bool = True
+    #: Deoptimizations of one method before its code is thrown away and
+    #: recompiled without the failed assumption.
+    deopt_invalidate_threshold: int = 3
+    #: On a compiler error: True = bail out and stay interpreted (what a
+    #: production VM does); False = raise (surfaces compiler bugs, the
+    #: right default for a research codebase).
+    compile_bailout: bool = False
+    #: PEA application count (Graal applies it more than once).
+    pea_iterations: int = 2
+    #: Block-local load/store forwarding after escape analysis.
+    read_elimination: bool = True
+    #: Dominance-based folding of redundant conditions/guards.
+    conditional_elimination: bool = True
+    #: Flag surviving non-escaping allocations for stack/zone
+    #: allocation (Section 3's other EA consumer).  Off by default so
+    #: heap statistics stay comparable with the paper's configurations.
+    stack_allocation: bool = False
+    #: Ablation knobs for the analysis itself.
+    pea_virtualize_arrays: bool = True
+    pea_fold_checks: bool = True
+    cost_model: CostModel = field(default_factory=CostModel)
+
+    @classmethod
+    def no_ea(cls, **kwargs) -> "CompilerConfig":
+        return cls(escape_analysis=EscapeAnalysisKind.NONE, **kwargs)
+
+    @classmethod
+    def equi_escape(cls, **kwargs) -> "CompilerConfig":
+        return cls(escape_analysis=EscapeAnalysisKind.EQUI_ESCAPE,
+                   **kwargs)
+
+    @classmethod
+    def partial_escape(cls, **kwargs) -> "CompilerConfig":
+        return cls(escape_analysis=EscapeAnalysisKind.PARTIAL, **kwargs)
+
+    def label(self) -> str:
+        return {
+            EscapeAnalysisKind.NONE: "without EA",
+            EscapeAnalysisKind.EQUI_ESCAPE: "equi-escape EA",
+            EscapeAnalysisKind.PARTIAL: "with PEA",
+        }[self.escape_analysis]

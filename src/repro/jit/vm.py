@@ -1,0 +1,165 @@
+"""The tiered virtual machine.
+
+Methods start in the bytecode interpreter (collecting invocation and
+branch profiles); once a method's invocation count crosses the compile
+threshold it is compiled with the configured pipeline and subsequent
+calls execute the optimized graph.  Guards that fail deoptimize back to
+the interpreter through :class:`~repro.runtime.deopt.Deoptimizer`.
+
+Every engine shares one :class:`~repro.bytecode.heap.Heap`, so the
+allocation/monitor statistics of Table 1 are configuration-comparable.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict, List, Optional
+
+from ..bytecode.classfile import JMethod, Program
+from ..bytecode.heap import Heap, HeapStats
+from ..bytecode.instructions import MethodRef
+from ..bytecode.interpreter import Interpreter, Profile
+from ..runtime.costmodel import ExecutionStats
+from ..runtime.deopt import Deoptimizer
+from ..runtime.graph_interpreter import GraphInterpreter
+from .compiler import CompilationResult, Compiler
+from .options import CompilerConfig
+
+_MIN_RECURSION_LIMIT = 40_000
+
+
+class VM:
+    """One program + one configuration, ready to run."""
+
+    def __init__(self, program: Program, config: CompilerConfig):
+        if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
+            sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
+        self.program = program
+        self.config = config
+        self.heap = Heap(program)
+        self.profile = Profile()
+        self.interpreter = Interpreter(program, self.heap, self.profile)
+        self.interpreter.dispatcher = self.call_method
+        self.deoptimizer = Deoptimizer(program, self.heap,
+                                       self.interpreter)
+        self.exec_stats = ExecutionStats()
+        self.graph_interpreter = GraphInterpreter(
+            program, self.heap, self._invoke_callback, self.deoptimizer,
+            config.cost_model, self.exec_stats)
+        self.compiler = Compiler(program, config, self.profile)
+        self.compiled: Dict[JMethod, CompilationResult] = {}
+        #: Methods that failed to compile (stay interpreted).
+        self._uncompilable: Dict[JMethod, str] = {}
+        self._interpreter_steps_counted = 0
+        self.deopt_counts: Dict[JMethod, int] = {}
+        self.invalidations = 0
+        self.deoptimizer.on_deopt = self._handle_deopt
+
+    # -- public -----------------------------------------------------------
+
+    def call(self, qualified: str, *args) -> Any:
+        """Invoke ``"Class.method"`` with *args* through the tiers."""
+        return self.call_method(self.program.method(qualified),
+                                list(args))
+
+    def call_method(self, method: JMethod, args: List[Any]) -> Any:
+        if method.is_native:
+            self.exec_stats.cycles += (
+                self.config.cost_model.invoke_overhead
+                + method.native_cycle_cost)
+            return method.native_impl(self.interpreter, args)
+        compiled = self.compiled.get(method)
+        if compiled is None and self._should_compile(method):
+            compiled = self._compile(method)
+        if compiled is not None:
+            return self._execute_compiled(method, compiled, args)
+        return self._execute_interpreted(method, args)
+
+    def warm_up(self, qualified: str, args_list) -> None:
+        """Run the method repeatedly so it gets profiled and compiled."""
+        for args in args_list:
+            self.call(qualified, *args)
+
+    def compile_now(self, qualified: str) -> CompilationResult:
+        """Force compilation of a method (tests/benchmarks)."""
+        method = self.program.method(qualified)
+        result = self.compiled.get(method)
+        if result is None:
+            result = self._compile(method)
+            if result is None:
+                raise RuntimeError(
+                    f"{qualified} failed to compile: "
+                    f"{self._uncompilable.get(method)}")
+        return result
+
+    def heap_snapshot(self) -> HeapStats:
+        return self.heap.stats.copy()
+
+    def cycles_snapshot(self) -> float:
+        self._sync_interpreter_cycles()
+        return self.exec_stats.cycles
+
+    # -- tiers -------------------------------------------------------------------
+
+    def _should_compile(self, method: JMethod) -> bool:
+        if method in self._uncompilable or not method.code:
+            return False
+        return (self.profile.invocation_count(method)
+                >= self.config.compile_threshold)
+
+    def _compile(self, method: JMethod) -> Optional[CompilationResult]:
+        try:
+            result = self.compiler.compile(method)
+        except Exception as exc:  # noqa: BLE001 - compile bailout
+            self._uncompilable[method] = f"{type(exc).__name__}: {exc}"
+            if self.config.compile_bailout:
+                return None  # stay interpreted, like a production VM
+            raise
+        self.compiled[method] = result
+        return result
+
+    def _execute_compiled(self, method: JMethod,
+                          compiled: CompilationResult,
+                          args: List[Any]) -> Any:
+        return self.graph_interpreter.execute(compiled.graph, args)
+
+    def _execute_interpreted(self, method: JMethod,
+                             args: List[Any]) -> Any:
+        self.exec_stats.interpreted_invocations += 1
+        try:
+            return self.interpreter.invoke(method, args)
+        finally:
+            self._sync_interpreter_cycles()
+
+    def _sync_interpreter_cycles(self):
+        steps = self.interpreter.stats.steps
+        new_steps = steps - self._interpreter_steps_counted
+        if new_steps:
+            self._interpreter_steps_counted = steps
+            self.exec_stats.interpreter_steps += new_steps
+            self.exec_stats.cycles += (
+                new_steps * self.config.cost_model.interpreter_step)
+
+    def _handle_deopt(self, root_method: JMethod, state) -> None:
+        """Invalidate code that keeps deoptimizing; the next compilation
+        sees the updated profile and drops the failed speculation."""
+        count = self.deopt_counts.get(root_method, 0) + 1
+        self.deopt_counts[root_method] = count
+        if count >= self.config.deopt_invalidate_threshold and \
+                root_method in self.compiled:
+            del self.compiled[root_method]
+            self.deopt_counts[root_method] = 0
+            self.invalidations += 1
+
+    def _invoke_callback(self, kind: str, ref: MethodRef,
+                         args: List[Any]) -> Any:
+        if kind == "virtual":
+            receiver = args[0]
+            callee = self.program.resolve_virtual(receiver.class_name,
+                                                  ref.method_name)
+        else:
+            callee = self.program.resolve_method(ref.class_name,
+                                                 ref.method_name)
+        if self.profile is not None:
+            self.profile.record_invocation(callee)
+        return self.call_method(callee, args)

@@ -1,0 +1,16 @@
+"""A compact Java-like source language ("MJ") compiled to the bytecode
+substrate.  Used to author examples, tests and all benchmark workloads.
+"""
+
+from . import ast_nodes
+from .compiler import compile_source
+from .errors import LexError, ParseError, SourceError, TypeError_
+from .lexer import Token, TokenKind, tokenize
+from .parser import parse
+from .typechecker import TypeChecker, typecheck
+
+__all__ = [
+    "ast_nodes", "compile_source", "LexError", "ParseError", "SourceError",
+    "TypeError_", "Token", "TokenKind", "tokenize", "parse", "TypeChecker",
+    "typecheck",
+]

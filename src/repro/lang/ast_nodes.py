@@ -1,0 +1,267 @@
+"""AST node definitions for the source language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Node:
+    line: int = 0
+    column: int = 0
+
+
+# ---------------------------------------------------------------- types
+
+@dataclass
+class TypeRef(Node):
+    """A syntactic type: ``int``, ``boolean``, ``void``, a class name, or
+    an array of one of those (``is_array``)."""
+
+    name: str = ""
+    is_array: bool = False
+
+    def __str__(self):
+        return f"{self.name}[]" if self.is_array else self.name
+
+
+# ------------------------------------------------------------ expressions
+
+@dataclass
+class Expr(Node):
+    #: Filled in by the type checker.
+    type: Optional[TypeRef] = None
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class BoolLiteral(Expr):
+    value: bool = False
+
+
+@dataclass
+class NullLiteral(Expr):
+    pass
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: str = ""
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+    #: Resolved by the type checker: "local", "field", "static".
+    resolution: Optional[str] = None
+    #: For fields/statics: the declaring class name.
+    declaring_class: Optional[str] = None
+    #: For locals: the slot index (set by codegen).
+    slot: Optional[int] = None
+
+
+@dataclass
+class ThisRef(Expr):
+    pass
+
+
+@dataclass
+class FieldAccess(Expr):
+    receiver: Optional[Expr] = None
+    name: str = ""
+    #: "instance", "static" or "arraylength"; set by the type checker.
+    resolution: Optional[str] = None
+    declaring_class: Optional[str] = None
+
+
+@dataclass
+class ArrayIndex(Expr):
+    array: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Ternary(Expr):
+    """``condition ? when_true : when_false`` (right-associative)."""
+
+    condition: Optional[Expr] = None
+    when_true: Optional[Expr] = None
+    when_false: Optional[Expr] = None
+
+
+@dataclass
+class InstanceOf(Expr):
+    operand: Optional[Expr] = None
+    class_name: str = ""
+
+
+@dataclass
+class Cast(Expr):
+    class_name: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class NewObject(Expr):
+    class_name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class NewArray(Expr):
+    elem_type: Optional[TypeRef] = None
+    length: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    """A method call.
+
+    ``receiver`` is ``None`` for unqualified calls (resolved against the
+    enclosing class), an expression for instance calls, or a
+    :class:`VarRef` naming a class for static calls (disambiguated by the
+    type checker via ``is_static_receiver``).
+    """
+
+    receiver: Optional[Expr] = None
+    method_name: str = ""
+    args: List[Expr] = field(default_factory=list)
+    is_static_receiver: bool = False
+    declaring_class: Optional[str] = None
+
+
+# ------------------------------------------------------------- statements
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class LocalDecl(Stmt):
+    decl_type: Optional[TypeRef] = None
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    """``target = value``; target is VarRef, FieldAccess or ArrayIndex."""
+
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    condition: Optional[Expr] = None
+    then_branch: Optional[Stmt] = None
+    else_branch: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    condition: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None
+    condition: Optional[Expr] = None
+    update: Optional[Stmt] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Throw(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Synchronized(Stmt):
+    monitor: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+# ------------------------------------------------------------ declarations
+
+@dataclass
+class FieldDecl(Node):
+    decl_type: Optional[TypeRef] = None
+    name: str = ""
+    is_static: bool = False
+
+
+@dataclass
+class Param(Node):
+    decl_type: Optional[TypeRef] = None
+    name: str = ""
+
+
+@dataclass
+class MethodDecl(Node):
+    name: str = ""
+    return_type: Optional[TypeRef] = None
+    params: List[Param] = field(default_factory=list)
+    body: Optional[Block] = None
+    is_static: bool = False
+    is_synchronized: bool = False
+    is_native: bool = False
+    is_constructor: bool = False
+
+
+@dataclass
+class ClassDecl(Node):
+    name: str = ""
+    superclass: Optional[str] = None
+    fields: List[FieldDecl] = field(default_factory=list)
+    methods: List[MethodDecl] = field(default_factory=list)
+
+
+@dataclass
+class CompilationUnit(Node):
+    classes: List[ClassDecl] = field(default_factory=list)

@@ -1,0 +1,38 @@
+"""Convenience front door: source text -> verified :class:`Program`."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..bytecode import Program, verify_program
+from .codegen import generate_program
+from .parser import parse
+from .typechecker import typecheck
+
+
+def compile_source(source: str,
+                   natives: Optional[Dict[str, Callable]] = None,
+                   verify: bool = True) -> Program:
+    """Compile *source* into a verified bytecode :class:`Program`.
+
+    *natives* maps ``"Class.method"`` to a Python callable
+    ``(interpreter, args) -> value`` implementing a ``native`` method
+    declared in the source, or to a ``(callable, cycle_cost)`` tuple
+    when the native models an expensive precompiled kernel on the
+    simulated machine.
+    """
+    unit = parse(source)
+    checker = typecheck(unit)
+    program = generate_program(checker, unit)
+    if natives:
+        for qualified, impl in natives.items():
+            method = program.method(qualified)
+            if not method.is_native:
+                raise ValueError(f"{qualified} is not declared native")
+            if isinstance(impl, tuple):
+                method.native_impl, method.native_cycle_cost = impl
+            else:
+                method.native_impl = impl
+    if verify:
+        verify_program(program)
+    return program

@@ -1,0 +1,26 @@
+"""Shared error types for the source language frontend."""
+
+from __future__ import annotations
+
+
+class SourceError(Exception):
+    """An error with a source position."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.message = message
+        self.line = line
+        self.column = column
+        where = f" at {line}:{column}" if line else ""
+        super().__init__(f"{message}{where}")
+
+
+class LexError(SourceError):
+    pass
+
+
+class ParseError(SourceError):
+    pass
+
+
+class TypeError_(SourceError):
+    """A type-checking error (named to avoid shadowing the builtin)."""

@@ -1,0 +1,589 @@
+"""Type checker and name resolver for the source language.
+
+Runs in two passes: first it collects class/field/method signatures (so
+mutually recursive classes work), then it checks every method body,
+annotating the AST in place with resolved types and resolution kinds the
+code generator consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from . import ast_nodes as ast
+from .errors import TypeError_
+
+INT = ast.TypeRef(name="int")
+BOOLEAN = ast.TypeRef(name="boolean")
+VOID = ast.TypeRef(name="void")
+NULL = ast.TypeRef(name="null")
+OBJECT = ast.TypeRef(name="Object")
+STRING = ast.TypeRef(name="String")
+
+#: Classes that exist without being declared in source.
+BUILTIN_CLASSES = ("Object", "String")
+
+_ARITH_OPS = frozenset("+ - * / % << >> & | ^".split())
+_COMPARE_OPS = frozenset("< <= > >=".split())
+_EQUALITY_OPS = frozenset(("==", "!="))
+_LOGICAL_OPS = frozenset(("&&", "||"))
+
+
+def is_primitive(t: ast.TypeRef) -> bool:
+    return not t.is_array and t.name in ("int", "boolean")
+
+
+def is_reference(t: ast.TypeRef) -> bool:
+    return t.is_array or t.name not in ("int", "boolean", "void")
+
+
+def same_type(a: ast.TypeRef, b: ast.TypeRef) -> bool:
+    return a.name == b.name and a.is_array == b.is_array
+
+
+@dataclass
+class FieldSig:
+    name: str
+    type: ast.TypeRef
+    is_static: bool
+    declaring_class: str
+
+
+@dataclass
+class MethodSig:
+    name: str
+    param_types: List[ast.TypeRef]
+    return_type: ast.TypeRef
+    is_static: bool
+    is_synchronized: bool
+    is_native: bool
+    declaring_class: str
+
+    @property
+    def qualified(self):
+        return f"{self.declaring_class}.{self.name}"
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    superclass: Optional[str]
+    fields: Dict[str, FieldSig] = field(default_factory=dict)
+    methods: Dict[str, MethodSig] = field(default_factory=dict)
+
+
+class TypeChecker:
+    """Checks a compilation unit and annotates its AST."""
+
+    def __init__(self, unit: ast.CompilationUnit):
+        self.unit = unit
+        self.classes: Dict[str, ClassInfo] = {}
+        # Per-method state:
+        self._locals: List[Dict[str, ast.TypeRef]] = []
+        self._current_class: Optional[ClassInfo] = None
+        self._current_method: Optional[MethodSig] = None
+        self._loop_depth = 0
+
+    # -- pass 1: signatures --------------------------------------------
+
+    def collect_signatures(self) -> None:
+        for name in BUILTIN_CLASSES:
+            superclass = None if name == "Object" else "Object"
+            self.classes[name] = ClassInfo(name, superclass)
+        for decl in self.unit.classes:
+            if decl.name in self.classes:
+                raise TypeError_(f"duplicate class {decl.name}", decl.line,
+                                 decl.column)
+            superclass = decl.superclass or "Object"
+            self.classes[decl.name] = ClassInfo(decl.name, superclass)
+        for decl in self.unit.classes:
+            info = self.classes[decl.name]
+            if info.superclass not in self.classes:
+                raise TypeError_(
+                    f"unknown superclass {info.superclass}", decl.line,
+                    decl.column)
+            for fdecl in decl.fields:
+                self._check_type(fdecl.decl_type, fdecl)
+                if fdecl.name in info.fields:
+                    raise TypeError_(
+                        f"duplicate field {decl.name}.{fdecl.name}",
+                        fdecl.line, fdecl.column)
+                info.fields[fdecl.name] = FieldSig(
+                    fdecl.name, fdecl.decl_type, fdecl.is_static,
+                    decl.name)
+            for mdecl in decl.methods:
+                self._check_type(mdecl.return_type, mdecl, allow_void=True)
+                for param in mdecl.params:
+                    self._check_type(param.decl_type, param)
+                if mdecl.name in info.methods:
+                    raise TypeError_(
+                        f"duplicate method {decl.name}.{mdecl.name} "
+                        "(no overloading)", mdecl.line, mdecl.column)
+                info.methods[mdecl.name] = MethodSig(
+                    mdecl.name, [p.decl_type for p in mdecl.params],
+                    mdecl.return_type, mdecl.is_static,
+                    mdecl.is_synchronized, mdecl.is_native, decl.name)
+        # Inheritance sanity: no cycles.
+        for name in self.classes:
+            self._superchain(name)
+
+    def _check_type(self, type_ref: ast.TypeRef, node: ast.Node,
+                    allow_void: bool = False) -> None:
+        if type_ref.name == "void":
+            if not allow_void or type_ref.is_array:
+                raise TypeError_("void is not a value type", node.line,
+                                 node.column)
+            return
+        if type_ref.name in ("int", "boolean"):
+            return
+        if type_ref.name not in self.classes and type_ref.name not in (
+                d.name for d in self.unit.classes):
+            raise TypeError_(f"unknown type {type_ref.name}", node.line,
+                             node.column)
+
+    def _superchain(self, name: str) -> List[ClassInfo]:
+        chain = []
+        seen = set()
+        current: Optional[str] = name
+        while current is not None:
+            if current in seen:
+                raise TypeError_(f"inheritance cycle involving {current}")
+            seen.add(current)
+            info = self.classes[current]
+            chain.append(info)
+            current = info.superclass
+        return chain
+
+    def is_subclass(self, sub: str, sup: str) -> bool:
+        return any(c.name == sup for c in self._superchain(sub))
+
+    def resolve_field(self, class_name: str, name: str
+                      ) -> Optional[FieldSig]:
+        for info in self._superchain(class_name):
+            if name in info.fields:
+                return info.fields[name]
+        return None
+
+    def resolve_method(self, class_name: str, name: str
+                       ) -> Optional[MethodSig]:
+        for info in self._superchain(class_name):
+            if name in info.methods:
+                return info.methods[name]
+        return None
+
+    # -- assignability -------------------------------------------------------
+
+    def assignable(self, target: ast.TypeRef, value: ast.TypeRef) -> bool:
+        if same_type(target, value):
+            return True
+        if value.name == "null":
+            return is_reference(target)
+        if is_primitive(target) or is_primitive(value):
+            return False
+        if value.is_array:
+            return not target.is_array and target.name == "Object"
+        if target.is_array:
+            return False
+        if value.name == "void" or target.name == "void":
+            return False
+        return self.is_subclass(value.name, target.name)
+
+    # -- pass 2: bodies ---------------------------------------------------------
+
+    def check(self) -> None:
+        self.collect_signatures()
+        for decl in self.unit.classes:
+            self._current_class = self.classes[decl.name]
+            for mdecl in decl.methods:
+                self._check_method(decl, mdecl)
+        self._current_class = None
+
+    def _check_method(self, cdecl: ast.ClassDecl,
+                      mdecl: ast.MethodDecl) -> None:
+        if mdecl.is_native:
+            return
+        sig = self.classes[cdecl.name].methods[mdecl.name]
+        self._current_method = sig
+        scope: Dict[str, ast.TypeRef] = {}
+        if not mdecl.is_static:
+            scope["this"] = ast.TypeRef(name=cdecl.name)
+        for param in mdecl.params:
+            if param.name in scope:
+                raise TypeError_(f"duplicate parameter {param.name}",
+                                 param.line, param.column)
+            scope[param.name] = param.decl_type
+        self._locals = [scope]
+        self._loop_depth = 0
+        self._check_stmt(mdecl.body)
+        self._locals = []
+        self._current_method = None
+
+    # -- statements ---------------------------------------------------------------
+
+    def _check_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._locals.append({})
+            for inner in stmt.statements:
+                self._check_stmt(inner)
+            self._locals.pop()
+        elif isinstance(stmt, ast.LocalDecl):
+            self._check_type(stmt.decl_type, stmt)
+            for scope in self._locals:
+                if stmt.name in scope:
+                    raise TypeError_(f"duplicate local {stmt.name}",
+                                     stmt.line, stmt.column)
+            if stmt.init is not None:
+                init_type = self._check_expr(stmt.init)
+                if not self.assignable(stmt.decl_type, init_type):
+                    raise TypeError_(
+                        f"cannot assign {init_type} to {stmt.decl_type}",
+                        stmt.line, stmt.column)
+            self._locals[-1][stmt.name] = stmt.decl_type
+        elif isinstance(stmt, ast.Assign):
+            target_type = self._check_expr(stmt.target, as_target=True)
+            value_type = self._check_expr(stmt.value)
+            if not self.assignable(target_type, value_type):
+                raise TypeError_(
+                    f"cannot assign {value_type} to {target_type}",
+                    stmt.line, stmt.column)
+        elif isinstance(stmt, ast.ExprStmt):
+            expr = stmt.expr
+            if not isinstance(expr, (ast.Call, ast.NewObject,
+                                     ast.NewArray)):
+                raise TypeError_("expression statement has no effect",
+                                 stmt.line, stmt.column)
+            self._check_expr(expr)
+        elif isinstance(stmt, ast.If):
+            self._check_condition(stmt.condition)
+            self._check_stmt(stmt.then_branch)
+            if stmt.else_branch is not None:
+                self._check_stmt(stmt.else_branch)
+        elif isinstance(stmt, ast.While):
+            self._check_condition(stmt.condition)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.For):
+            self._locals.append({})
+            if stmt.init is not None:
+                self._check_stmt(stmt.init)
+            if stmt.condition is not None:
+                self._check_condition(stmt.condition)
+            if stmt.update is not None:
+                self._check_stmt(stmt.update)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body)
+            self._loop_depth -= 1
+            self._locals.pop()
+        elif isinstance(stmt, ast.Return):
+            expected = self._current_method.return_type
+            if stmt.value is None:
+                if expected.name != "void":
+                    raise TypeError_("missing return value", stmt.line,
+                                     stmt.column)
+            else:
+                if expected.name == "void":
+                    raise TypeError_("void method returns a value",
+                                     stmt.line, stmt.column)
+                actual = self._check_expr(stmt.value)
+                if not self.assignable(expected, actual):
+                    raise TypeError_(
+                        f"cannot return {actual} as {expected}",
+                        stmt.line, stmt.column)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self._loop_depth == 0:
+                raise TypeError_("break/continue outside a loop",
+                                 stmt.line, stmt.column)
+        elif isinstance(stmt, ast.Throw):
+            value_type = self._check_expr(stmt.value)
+            if not is_reference(value_type) and value_type.name != "null":
+                raise TypeError_("can only throw references", stmt.line,
+                                 stmt.column)
+        elif isinstance(stmt, ast.Synchronized):
+            monitor_type = self._check_expr(stmt.monitor)
+            if not is_reference(monitor_type):
+                raise TypeError_("synchronized needs a reference",
+                                 stmt.line, stmt.column)
+            self._check_stmt(stmt.body)
+        else:  # pragma: no cover
+            raise AssertionError(f"unhandled statement {stmt!r}")
+
+    def _check_condition(self, expr: ast.Expr) -> None:
+        cond_type = self._check_expr(expr)
+        if not same_type(cond_type, BOOLEAN):
+            raise TypeError_(f"condition must be boolean, got {cond_type}",
+                             expr.line, expr.column)
+
+    # -- expressions -------------------------------------------------------------
+
+    def _lookup_local(self, name: str) -> Optional[ast.TypeRef]:
+        for scope in reversed(self._locals):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def _check_expr(self, expr: ast.Expr,
+                    as_target: bool = False) -> ast.TypeRef:
+        result = self._infer(expr, as_target)
+        expr.type = result
+        return result
+
+    def _infer(self, expr: ast.Expr, as_target: bool) -> ast.TypeRef:
+        if isinstance(expr, ast.IntLiteral):
+            return INT
+        if isinstance(expr, ast.BoolLiteral):
+            return BOOLEAN
+        if isinstance(expr, ast.NullLiteral):
+            return NULL
+        if isinstance(expr, ast.StringLiteral):
+            return STRING
+        if isinstance(expr, ast.ThisRef):
+            this_type = self._lookup_local("this")
+            if this_type is None:
+                raise TypeError_("'this' in a static context", expr.line,
+                                 expr.column)
+            return this_type
+        if isinstance(expr, ast.VarRef):
+            return self._infer_var(expr, as_target)
+        if isinstance(expr, ast.FieldAccess):
+            return self._infer_field_access(expr, as_target)
+        if isinstance(expr, ast.ArrayIndex):
+            array_type = self._check_expr(expr.array)
+            if not array_type.is_array:
+                raise TypeError_(f"indexing non-array {array_type}",
+                                 expr.line, expr.column)
+            index_type = self._check_expr(expr.index)
+            if not same_type(index_type, INT):
+                raise TypeError_("array index must be int", expr.line,
+                                 expr.column)
+            return ast.TypeRef(name=array_type.name)
+        if isinstance(expr, ast.Unary):
+            operand = self._check_expr(expr.operand)
+            if expr.op == "!":
+                if not same_type(operand, BOOLEAN):
+                    raise TypeError_("! needs boolean", expr.line,
+                                     expr.column)
+                return BOOLEAN
+            if expr.op == "-":
+                if not same_type(operand, INT):
+                    raise TypeError_("- needs int", expr.line, expr.column)
+                return INT
+            raise AssertionError(expr.op)
+        if isinstance(expr, ast.Binary):
+            return self._infer_binary(expr)
+        if isinstance(expr, ast.Ternary):
+            self._check_condition(expr.condition)
+            then_type = self._check_expr(expr.when_true)
+            else_type = self._check_expr(expr.when_false)
+            if self.assignable(then_type, else_type):
+                return then_type
+            if self.assignable(else_type, then_type):
+                return else_type
+            raise TypeError_(
+                f"incompatible ternary arms: {then_type} vs {else_type}",
+                expr.line, expr.column)
+        if isinstance(expr, ast.InstanceOf):
+            operand = self._check_expr(expr.operand)
+            if not (is_reference(operand) or operand.name == "null"):
+                raise TypeError_("instanceof needs a reference", expr.line,
+                                 expr.column)
+            if expr.class_name not in self.classes:
+                raise TypeError_(f"unknown class {expr.class_name}",
+                                 expr.line, expr.column)
+            return BOOLEAN
+        if isinstance(expr, ast.Cast):
+            operand = self._check_expr(expr.operand)
+            if not (is_reference(operand) or operand.name == "null"):
+                raise TypeError_("cast needs a reference", expr.line,
+                                 expr.column)
+            if expr.class_name not in self.classes:
+                raise TypeError_(f"unknown class {expr.class_name}",
+                                 expr.line, expr.column)
+            return ast.TypeRef(name=expr.class_name)
+        if isinstance(expr, ast.NewObject):
+            return self._infer_new_object(expr)
+        if isinstance(expr, ast.NewArray):
+            self._check_type(expr.elem_type, expr)
+            if expr.elem_type.is_array:
+                raise TypeError_("no multi-dimensional arrays", expr.line,
+                                 expr.column)
+            length_type = self._check_expr(expr.length)
+            if not same_type(length_type, INT):
+                raise TypeError_("array length must be int", expr.line,
+                                 expr.column)
+            return ast.TypeRef(name=expr.elem_type.name, is_array=True)
+        if isinstance(expr, ast.Call):
+            return self._infer_call(expr)
+        raise AssertionError(f"unhandled expression {expr!r}")
+
+    def _infer_var(self, expr: ast.VarRef, as_target: bool) -> ast.TypeRef:
+        local = self._lookup_local(expr.name)
+        if local is not None:
+            expr.resolution = "local"
+            return local
+        # Implicit this.field or static field of the enclosing class.
+        fsig = self.resolve_field(self._current_class.name, expr.name)
+        if fsig is not None:
+            if fsig.is_static:
+                expr.resolution = "static"
+            else:
+                if self._current_method.is_static:
+                    raise TypeError_(
+                        f"instance field {expr.name} in static context",
+                        expr.line, expr.column)
+                expr.resolution = "field"
+            expr.declaring_class = fsig.declaring_class
+            return fsig.type
+        raise TypeError_(f"unknown variable {expr.name}", expr.line,
+                         expr.column)
+
+    def _infer_field_access(self, expr: ast.FieldAccess,
+                            as_target: bool) -> ast.TypeRef:
+        # Class-name receiver => static field.
+        if (isinstance(expr.receiver, ast.VarRef)
+                and self._lookup_local(expr.receiver.name) is None
+                and expr.receiver.name in self.classes):
+            class_name = expr.receiver.name
+            fsig = self.resolve_field(class_name, expr.name)
+            if fsig is None or not fsig.is_static:
+                raise TypeError_(
+                    f"unknown static field {class_name}.{expr.name}",
+                    expr.line, expr.column)
+            expr.resolution = "static"
+            expr.declaring_class = fsig.declaring_class
+            return fsig.type
+        receiver_type = self._check_expr(expr.receiver)
+        if receiver_type.is_array:
+            if expr.name == "length":
+                if as_target:
+                    raise TypeError_("cannot assign to array length",
+                                     expr.line, expr.column)
+                expr.resolution = "arraylength"
+                return INT
+            raise TypeError_(f"arrays have no field {expr.name}",
+                             expr.line, expr.column)
+        if not is_reference(receiver_type):
+            raise TypeError_(f"field access on {receiver_type}",
+                             expr.line, expr.column)
+        fsig = self.resolve_field(receiver_type.name, expr.name)
+        if fsig is None:
+            raise TypeError_(
+                f"unknown field {receiver_type.name}.{expr.name}",
+                expr.line, expr.column)
+        expr.resolution = "static" if fsig.is_static else "instance"
+        expr.declaring_class = fsig.declaring_class
+        return fsig.type
+
+    def _infer_binary(self, expr: ast.Binary) -> ast.TypeRef:
+        left = self._check_expr(expr.left)
+        right = self._check_expr(expr.right)
+        op = expr.op
+        if op in _LOGICAL_OPS:
+            if not (same_type(left, BOOLEAN) and same_type(right, BOOLEAN)):
+                raise TypeError_(f"{op} needs booleans", expr.line,
+                                 expr.column)
+            return BOOLEAN
+        if op in _EQUALITY_OPS:
+            if same_type(left, INT) and same_type(right, INT):
+                return BOOLEAN
+            if same_type(left, BOOLEAN) and same_type(right, BOOLEAN):
+                return BOOLEAN
+            left_ref = is_reference(left) or left.name == "null"
+            right_ref = is_reference(right) or right.name == "null"
+            if left_ref and right_ref:
+                return BOOLEAN
+            raise TypeError_(f"cannot compare {left} and {right}",
+                             expr.line, expr.column)
+        if op in _COMPARE_OPS:
+            if not (same_type(left, INT) and same_type(right, INT)):
+                raise TypeError_(f"{op} needs ints", expr.line, expr.column)
+            return BOOLEAN
+        if op in _ARITH_OPS:
+            if not (same_type(left, INT) and same_type(right, INT)):
+                raise TypeError_(f"{op} needs ints", expr.line, expr.column)
+            return INT
+        raise AssertionError(op)
+
+    def _infer_new_object(self, expr: ast.NewObject) -> ast.TypeRef:
+        if expr.class_name not in self.classes:
+            raise TypeError_(f"unknown class {expr.class_name}", expr.line,
+                             expr.column)
+        ctor = self.resolve_method(expr.class_name, "<init>")
+        declared_here = (ctor is not None
+                         and ctor.declaring_class == expr.class_name)
+        if not declared_here:
+            if expr.args:
+                raise TypeError_(
+                    f"{expr.class_name} has no constructor taking "
+                    f"{len(expr.args)} arguments", expr.line, expr.column)
+        else:
+            self._check_args(expr, ctor.param_types, expr.args)
+        return ast.TypeRef(name=expr.class_name)
+
+    def _check_args(self, node: ast.Node, expected: List[ast.TypeRef],
+                    args: List[ast.Expr]) -> None:
+        if len(expected) != len(args):
+            raise TypeError_(
+                f"expected {len(expected)} arguments, got {len(args)}",
+                node.line, node.column)
+        for expected_type, arg in zip(expected, args):
+            actual = self._check_expr(arg)
+            if not self.assignable(expected_type, actual):
+                raise TypeError_(
+                    f"argument type {actual} not assignable to "
+                    f"{expected_type}", arg.line, arg.column)
+
+    def _infer_call(self, expr: ast.Call) -> ast.TypeRef:
+        receiver = expr.receiver
+        if receiver is None:
+            sig = self.resolve_method(self._current_class.name,
+                                      expr.method_name)
+            if sig is None:
+                raise TypeError_(f"unknown method {expr.method_name}",
+                                 expr.line, expr.column)
+            if not sig.is_static and self._current_method.is_static:
+                raise TypeError_(
+                    f"instance method {expr.method_name} called from "
+                    "static context", expr.line, expr.column)
+            expr.is_static_receiver = sig.is_static
+            expr.declaring_class = sig.declaring_class
+            self._check_args(expr, sig.param_types, expr.args)
+            return sig.return_type
+        if (isinstance(receiver, ast.VarRef)
+                and self._lookup_local(receiver.name) is None
+                and receiver.name in self.classes):
+            sig = self.resolve_method(receiver.name, expr.method_name)
+            if sig is None or not sig.is_static:
+                raise TypeError_(
+                    f"unknown static method "
+                    f"{receiver.name}.{expr.method_name}",
+                    expr.line, expr.column)
+            expr.is_static_receiver = True
+            expr.declaring_class = sig.declaring_class
+            self._check_args(expr, sig.param_types, expr.args)
+            return sig.return_type
+        receiver_type = self._check_expr(receiver)
+        if not is_reference(receiver_type) or receiver_type.is_array:
+            raise TypeError_(f"method call on {receiver_type}", expr.line,
+                             expr.column)
+        sig = self.resolve_method(receiver_type.name, expr.method_name)
+        if sig is None:
+            raise TypeError_(
+                f"unknown method {receiver_type.name}.{expr.method_name}",
+                expr.line, expr.column)
+        if sig.is_static:
+            raise TypeError_(
+                f"static method {sig.qualified} called on instance",
+                expr.line, expr.column)
+        expr.is_static_receiver = False
+        expr.declaring_class = sig.declaring_class
+        self._check_args(expr, sig.param_types, expr.args)
+        return sig.return_type
+
+
+def typecheck(unit: ast.CompilationUnit) -> TypeChecker:
+    """Check *unit*; returns the checker (which holds the class table)."""
+    checker = TypeChecker(unit)
+    checker.check()
+    return checker

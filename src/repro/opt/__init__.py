@@ -1,0 +1,20 @@
+"""Classic optimization phases."""
+
+from .canonicalize import CanonicalizerPhase
+from .conditional_elimination import ConditionalEliminationPhase
+from .dce import DeadCodeEliminationPhase
+from .gvn import GlobalValueNumberingPhase
+from .inlining import InliningPhase, InliningPolicy
+from .phase import Phase, PhasePlan, PhaseTiming
+from .read_elimination import ReadEliminationPhase
+from .stack_allocation import StackAllocationPhase
+from .util import kill_branch, simplify_merge, sweep_floating
+
+__all__ = [
+    "CanonicalizerPhase", "ConditionalEliminationPhase",
+    "DeadCodeEliminationPhase",
+    "GlobalValueNumberingPhase", "InliningPhase", "InliningPolicy",
+    "Phase", "PhasePlan", "PhaseTiming", "ReadEliminationPhase",
+    "StackAllocationPhase",
+    "kill_branch", "simplify_merge", "sweep_floating",
+]

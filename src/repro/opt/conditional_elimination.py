@@ -1,0 +1,135 @@
+"""Conditional elimination: fold conditions proven by dominators.
+
+A branch establishes a fact about its condition node on each successor
+(true on the true side, false on the false side); a passing guard
+establishes its expected value for everything after it.  Because global
+value numbering collapses identical condition expressions into one node,
+a later If or guard over the *same node* inside the dominated region is
+decided at compile time:
+
+    if (x < y) {
+        ...
+        if (x < y) { A } else { B }   // always A
+    }
+
+Also folds redundant null-check guards after an earlier guard on the
+same IsNull node — the pattern the graph builder emits per access.
+
+The walk follows the dominator tree; facts are scoped to the subtree
+that established them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.graph import Graph
+from ..ir.node import Node
+from ..ir.nodes import (FixedGuardNode, IfNode, InstanceOfNode,
+                        IsNullNode, RefEqualsNode)
+from ..scheduler.cfg import ControlFlowGraph, IRBlock
+from .canonicalize import CanonicalizerPhase
+from .phase import Phase
+
+
+def _fact_key(condition: Optional[Node]):
+    """Semantic identity of a condition.
+
+    Fixed check nodes (IsNull, RefEquals, InstanceOf) are one-per-site,
+    so two null checks of the same value are different nodes; key them
+    by what they test so dominated re-checks fold.
+    """
+    if condition is None:
+        return None
+    if isinstance(condition, IsNullNode):
+        return ("isnull", condition.value)
+    if isinstance(condition, RefEqualsNode):
+        a, b = condition.x, condition.y
+        if a is not None and b is not None and b.id < a.id:
+            a, b = b, a
+        return ("refeq", a, b)
+    if isinstance(condition, InstanceOfNode):
+        return ("instanceof", condition.class_name, condition.value)
+    return condition
+
+
+class ConditionalEliminationPhase(Phase):
+    name = "conditional-elimination"
+
+    def run(self, graph: Graph) -> bool:
+        if graph.start is None:
+            return False
+        cfg = ControlFlowGraph(graph)
+        children = cfg.dominator_children()
+        entry = cfg.block_of[graph.start]
+        #: condition node -> proven truth value (bool).
+        facts: Dict[Node, bool] = {}
+        #: (node, condition_value) to rewrite, applied afterwards so the
+        #: CFG stays stable during the walk.
+        decisions: List[Tuple[Node, bool]] = []
+
+        def establishes(block: IRBlock):
+            """The fact the *edge into* this block proves."""
+            preds = block.predecessors
+            if len(preds) != 1:
+                return None  # merges join facts; keep it simple
+            terminator = preds[0].last
+            if isinstance(terminator, IfNode):
+                if terminator.true_successor is block.first:
+                    return (_fact_key(terminator.condition), True)
+                if terminator.false_successor is block.first:
+                    return (_fact_key(terminator.condition), False)
+            return None
+
+        def walk(block: IRBlock):
+            added: List = []
+            fact = establishes(block)
+            if fact is not None and fact[0] is not None and \
+                    fact[0] not in facts:
+                facts[fact[0]] = fact[1]
+                added.append(fact[0])
+            for node in block.nodes:
+                if isinstance(node, IfNode):
+                    key = _fact_key(node.condition)
+                    if key in facts:
+                        decisions.append((node, facts[key]))
+                elif isinstance(node, FixedGuardNode):
+                    key = _fact_key(node.condition)
+                    if key is None:
+                        continue
+                    if key in facts:
+                        decisions.append((node, facts[key]))
+                    else:
+                        # After a passing guard the condition is known.
+                        facts[key] = not node.negated
+                        added.append(key)
+            for child in children[block]:
+                walk(child)
+            for key in added:
+                del facts[key]
+
+        import sys
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 10000))
+        try:
+            walk(entry)
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+        if not decisions:
+            return False
+        changed = False
+        canonicalizer = CanonicalizerPhase()
+        for node, value in decisions:
+            if node.graph is not graph:
+                continue  # removed by an earlier decision's branch kill
+            constant = graph.constant(1 if value else 0)
+            if isinstance(node, IfNode):
+                node.condition = constant
+                changed |= canonicalizer._if(graph, node)
+            else:
+                node.condition = constant
+                changed |= canonicalizer._guard(graph, node)
+        if changed:
+            canonicalizer.run(graph)
+        return changed

@@ -1,0 +1,41 @@
+"""Dead code elimination.
+
+Removes (a) floating nodes with no usages and (b) *pure* fixed nodes whose
+value is unused — loads, compares, array lengths.  It deliberately does
+NOT remove unused allocations or monitor operations: eliminating those is
+exactly what Escape Analysis is for, and removing them here would
+contaminate the no-EA baseline configuration of the evaluation.
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph
+from ..ir.nodes import (ArrayLengthNode, InstanceOfNode, IsNullNode,
+                        LoadFieldNode, LoadIndexedNode, LoadStaticNode,
+                        RefEqualsNode)
+from .phase import Phase
+from .util import sweep_floating
+
+#: Fixed nodes with no side effect whose unused results may be dropped.
+_PURE_FIXED = (LoadFieldNode, LoadIndexedNode, LoadStaticNode,
+               ArrayLengthNode, RefEqualsNode, IsNullNode, InstanceOfNode)
+
+
+class DeadCodeEliminationPhase(Phase):
+    name = "dce"
+
+    def run(self, graph: Graph) -> bool:
+        changed = bool(sweep_floating(graph))
+        again = True
+        while again:
+            again = False
+            for node in graph.nodes():
+                if node.graph is not graph:
+                    continue
+                if isinstance(node, _PURE_FIXED) and node.has_no_usages():
+                    graph.remove_fixed(node)
+                    changed = True
+                    again = True
+            if again:
+                sweep_floating(graph)
+        return changed

@@ -1,0 +1,55 @@
+"""The optimization-phase framework."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..ir.graph import Graph
+
+
+class Phase:
+    """Base class: a transformation over one graph."""
+
+    #: Override with a human-readable phase name.
+    name = "phase"
+
+    def run(self, graph: Graph) -> bool:
+        """Apply the phase; returns True if the graph changed."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<{type(self).__name__}>"
+
+
+@dataclass
+class PhaseTiming:
+    phase: str
+    seconds: float
+    changed: bool
+
+
+class PhasePlan:
+    """An ordered list of phases applied to a graph, with verification
+    after every phase (compiler bugs surface immediately)."""
+
+    def __init__(self, phases: Optional[List[Phase]] = None,
+                 verify_between: bool = True):
+        self.phases: List[Phase] = list(phases) if phases else []
+        self.verify_between = verify_between
+        self.timings: List[PhaseTiming] = []
+
+    def append(self, phase: Phase) -> "PhasePlan":
+        self.phases.append(phase)
+        return self
+
+    def run(self, graph: Graph) -> Graph:
+        for phase in self.phases:
+            started = time.perf_counter()
+            changed = bool(phase.run(graph))
+            self.timings.append(PhaseTiming(
+                phase.name, time.perf_counter() - started, changed))
+            if self.verify_between:
+                graph.verify()
+        return graph

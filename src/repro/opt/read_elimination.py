@@ -1,0 +1,120 @@
+"""Block-local read elimination (load/store forwarding).
+
+Graal's production pipeline folds read elimination into the Partial
+Escape Analysis closure (PEAReadElimination); this phase implements the
+memory-forwarding half as a standalone pass: within one basic block,
+
+- a load of ``o.f`` after a store ``o.f = v`` becomes ``v``;
+- a second load of ``o.f`` reuses the first load's value;
+- the same for static fields and (same-index) array elements.
+
+Invalidation is conservative: calls and monitor operations clear all
+knowledge (they may mutate anything / act as barriers), and a store to
+field ``f`` of *any* object invalidates every other object's ``f``
+(two references may alias).  The analysis never crosses block
+boundaries, which keeps it trivially sound.
+
+Scalar replacement by PEA makes most of these loads disappear outright;
+read elimination matters for *escaped* objects, whose "state of its
+fields cannot be used" by PEA (Section 4) but whose memory is still
+forwardable between side effects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..ir.graph import Graph
+from ..ir.node import Node
+from ..ir.nodes import (ArrayLengthNode, InvokeNode, LoadFieldNode,
+                        LoadIndexedNode, LoadStaticNode, MonitorEnterNode,
+                        MonitorExitNode, NewArrayNode, NewInstanceNode,
+                        StoreFieldNode, StoreIndexedNode, StoreStaticNode)
+from ..scheduler.cfg import ControlFlowGraph
+from .phase import Phase
+
+
+class ReadEliminationPhase(Phase):
+    name = "read-elimination"
+
+    def run(self, graph: Graph) -> bool:
+        if graph.start is None:
+            return False
+        cfg = ControlFlowGraph(graph)
+        changed = False
+        for block in cfg.blocks:
+            changed |= self._process_block(graph, block.nodes)
+        return changed
+
+    def _process_block(self, graph: Graph, nodes) -> bool:
+        known: Dict[Tuple, Node] = {}
+        lengths: Dict[Node, Node] = {}
+        changed = False
+        for node in list(nodes):
+            if isinstance(node, LoadFieldNode):
+                key = ("field", node.object, node.field.field_name)
+                value = known.get(key)
+                if value is not None:
+                    graph.replace_fixed(node, value)
+                    changed = True
+                else:
+                    known[key] = node
+            elif isinstance(node, StoreFieldNode):
+                self._invalidate_field(known, node.field.field_name,
+                                       node.object)
+                known[("field", node.object,
+                       node.field.field_name)] = node.value
+            elif isinstance(node, LoadStaticNode):
+                key = ("static",
+                       (node.field.class_name, node.field.field_name))
+                value = known.get(key)
+                if value is not None:
+                    graph.replace_fixed(node, value)
+                    changed = True
+                else:
+                    known[key] = node
+            elif isinstance(node, StoreStaticNode):
+                known[("static", (node.field.class_name,
+                                  node.field.field_name))] = node.value
+            elif isinstance(node, LoadIndexedNode):
+                key = ("elem", node.array, node.index)
+                value = known.get(key)
+                if value is not None:
+                    graph.replace_fixed(node, value)
+                    changed = True
+                else:
+                    known[key] = node
+            elif isinstance(node, StoreIndexedNode):
+                # Any element store may alias any tracked element.
+                for key in [k for k in known if k[0] == "elem"]:
+                    del known[key]
+                known[("elem", node.array, node.index)] = node.value
+            elif isinstance(node, ArrayLengthNode):
+                value = lengths.get(node.array)
+                if value is not None:
+                    graph.replace_fixed(node, value)
+                    changed = True
+                else:
+                    lengths[node.array] = node
+            elif isinstance(node, (InvokeNode, MonitorEnterNode,
+                                   MonitorExitNode)):
+                # Barrier: a callee / another thread may write anything.
+                known.clear()
+        return changed
+
+    @staticmethod
+    def _invalidate_field(known: Dict, field_name: str,
+                          stored_object: Optional[Node]):
+        """A store to ``o.f`` invalidates ``p.f`` for every possibly-
+        aliasing ``p``.  Two distinct fresh allocations never alias."""
+        for key in list(known):
+            if key[0] != "field" or key[2] != field_name:
+                continue
+            other = key[1]
+            if other is stored_object:
+                continue  # rewritten by the caller
+            if (isinstance(other, (NewInstanceNode, NewArrayNode))
+                    and isinstance(stored_object,
+                                   (NewInstanceNode, NewArrayNode))):
+                continue  # distinct allocations cannot alias
+            del known[key]

@@ -1,0 +1,44 @@
+"""Stack allocation — the other classic Escape Analysis consumer.
+
+Section 3 of the paper lists three optimizations EA enables: scalar
+replacement, lock elision (both implemented by PEA) and *stack
+allocation* ("allocation on the stack or in other non-garbage-collected
+allocation areas such as zones").  Scalar replacement subsumes stack
+allocation when it applies; this phase picks up what's left: allocations
+that survived PEA (e.g. phi-merged objects that had to materialize) but
+still provably never escape the method get flagged ``stack_allocated``.
+
+The runtime then serves them from the simulated stack/zone: they are
+counted separately (``HeapStats.stack_allocations``) and charged the
+much cheaper non-GC allocation cost.
+
+Off by default (``CompilerConfig.stack_allocation``) so Table 1's heap
+numbers stay comparable with the paper's configurations.
+"""
+
+from __future__ import annotations
+
+from ..bytecode.classfile import Program
+from ..ir.graph import Graph
+from ..ir.nodes import NewArrayNode, NewInstanceNode
+from ..pea.equi_escape import EquiEscapeSets
+from .phase import Phase
+
+
+class StackAllocationPhase(Phase):
+    name = "stack-allocation"
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.flagged = 0
+
+    def run(self, graph: Graph) -> bool:
+        approved = EquiEscapeSets(graph, self.program).analyze()
+        changed = False
+        for node in graph.nodes_of(NewInstanceNode, NewArrayNode):
+            if node in approved and not getattr(node, "stack_allocated",
+                                                False):
+                node.stack_allocated = True
+                self.flagged += 1
+                changed = True
+        return changed

@@ -1,0 +1,90 @@
+"""Materialization: turning a virtual object into a real allocation.
+
+"When a previously virtual object needs to be created in the heap, an
+actual allocation needs to be inserted, which is considered to be the
+materialized value" (Section 5).  The inserted sequence is::
+
+    New <type>
+    Store <field> = <entry>     # for every non-default entry
+    MonitorEnter                # lock_count times, for elided locks
+
+All nodes are created *detached* and wired in by deferred effects;
+``state.escape(...)`` is set *before* filling entries so cyclic virtual
+object graphs terminate (object A referencing B referencing A).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..bytecode.classfile import Program
+from ..bytecode.instructions import FieldRef
+from ..ir.node import Node
+from ..ir.nodes import (ConstantNode, MonitorEnterNode, NewArrayNode,
+                        NewInstanceNode, StoreFieldNode, StoreIndexedNode,
+                        VirtualArrayNode, VirtualInstanceNode,
+                        VirtualObjectNode)
+from .effects import Effects
+from .state import PEAState
+
+
+def _is_default(value: Optional[Node]) -> bool:
+    if value is None:
+        return True
+    return isinstance(value, ConstantNode) and value.value in (0, None) \
+        and value.value is not False
+
+
+def ensure_materialized(program: Program, state: PEAState,
+                        virtual_object: VirtualObjectNode, anchor: Node,
+                        effects: Effects) -> Node:
+    """Materialize *virtual_object* immediately before *anchor* (if still
+    virtual) and return the node producing the real object."""
+    obj_state = state.get_state(virtual_object)
+    if not obj_state.is_virtual:
+        return obj_state.materialized_value
+
+    entries = list(obj_state.entries)
+    lock_count = obj_state.lock_count
+    graph = effects.graph
+
+    if isinstance(virtual_object, VirtualInstanceNode):
+        materialized: Node = NewInstanceNode(virtual_object.class_name)
+    elif isinstance(virtual_object, VirtualArrayNode):
+        materialized = NewArrayNode(
+            virtual_object.elem_type,
+            length=graph.constant(virtual_object.length))
+    else:  # pragma: no cover
+        raise TypeError(f"unknown virtual object {virtual_object!r}")
+    effects.track_created(materialized)
+
+    # Transition to escaped *first*: cycles hit the materialized value.
+    obj_state.escape(materialized)
+    effects.insert_fixed_before(anchor, materialized)
+
+    for index, entry in enumerate(entries):
+        if isinstance(entry, VirtualObjectNode):
+            value = ensure_materialized(program, state, entry, anchor,
+                                        effects)
+        else:
+            value = entry
+        if _is_default(value):
+            continue  # New already initialized defaults
+        if isinstance(virtual_object, VirtualInstanceNode):
+            store: Node = StoreFieldNode(
+                FieldRef(virtual_object.class_name,
+                         virtual_object.field_names[index]),
+                object=materialized, value=value)
+        else:
+            store = StoreIndexedNode(array=materialized,
+                                     index=graph.constant(index),
+                                     value=value)
+        effects.track_created(store)
+        effects.insert_fixed_before(anchor, store)
+
+    for _ in range(lock_count):
+        enter = MonitorEnterNode(object=materialized)
+        effects.track_created(enter)
+        effects.insert_fixed_before(anchor, enter)
+
+    return materialized

@@ -1,0 +1,85 @@
+"""The Partial Escape Analysis phase — the paper's contribution.
+
+Runs the control-flow-sensitive analysis
+(:class:`~repro.pea.processor.PEAProcessor`), then applies the recorded
+effects: scalar replacement of virtual allocations, lock elision on
+virtual monitors, materialization on escaping branches, and frame-state
+rewriting for deoptimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..bytecode.classfile import Program
+from ..ir.graph import Graph
+from ..opt.phase import Phase
+from .effects import Effects
+from .processor import PEAProcessor
+
+
+@dataclass
+class PEAResult:
+    """Statistics from one Partial Escape Analysis application."""
+
+    virtualized_allocations: int = 0
+    materializations: int = 0
+    removed_monitor_pairs: int = 0
+    applied_effects: int = 0
+
+    @property
+    def fully_removed_allocations(self) -> int:
+        """Allocations removed with no materialization anywhere (an upper
+        bound: materializations are not tied back to allocations)."""
+        return max(0, self.virtualized_allocations - self.materializations)
+
+
+class PartialEscapePhase(Phase):
+    name = "partial-escape-analysis"
+
+    def __init__(self, program: Program, iterations: int = 2,
+                 virtualize_arrays: bool = True,
+                 fold_virtual_checks: bool = True):
+        self.program = program
+        #: Graal applies PEA multiple times; later rounds pick up
+        #: opportunities exposed by the previous round's simplifications.
+        self.iterations = iterations
+        #: Ablation knobs (see benchmarks/bench_ablation.py).
+        self.virtualize_arrays = virtualize_arrays
+        self.fold_virtual_checks = fold_virtual_checks
+        self.last_result: Optional[PEAResult] = None
+
+    def run(self, graph: Graph) -> bool:
+        from ..opt.canonicalize import CanonicalizerPhase
+        from ..opt.dce import DeadCodeEliminationPhase
+
+        total = PEAResult()
+        changed_any = False
+        for _ in range(max(1, self.iterations)):
+            changed = self.run_once(graph, total)
+            if changed:
+                # Pick up constants/branch folds produced by this round.
+                CanonicalizerPhase().run(graph)
+                DeadCodeEliminationPhase().run(graph)
+                changed_any = True
+            else:
+                break
+        self.last_result = total
+        return changed_any
+
+    def run_once(self, graph: Graph, total: PEAResult) -> bool:
+        effects = Effects(graph)
+        processor = PEAProcessor(graph, self.program, effects)
+        processor.tool.virtualize_arrays = self.virtualize_arrays
+        processor.tool.fold_virtual_checks = self.fold_virtual_checks
+        tool = processor.run()
+        if len(effects) == 0:
+            return False
+        applied = effects.apply()
+        graph.verify()
+        total.virtualized_allocations += tool.virtualized_allocations
+        total.materializations += tool.materializations
+        total.removed_monitor_pairs += tool.removed_monitor_pairs
+        total.applied_effects += applied
+        return True

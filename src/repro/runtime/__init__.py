@@ -1,0 +1,9 @@
+"""Execution engines and the simulated-machine cost model."""
+
+from .costmodel import DEFAULT_COST_MODEL, CostModel, ExecutionStats
+from .deopt import DeoptError, Deoptimizer
+from .graph_interpreter import GraphExecutionError, GraphInterpreter
+
+__all__ = ["DEFAULT_COST_MODEL", "CostModel", "ExecutionStats",
+           "DeoptError", "Deoptimizer", "GraphExecutionError",
+           "GraphInterpreter"]

@@ -1,0 +1,140 @@
+"""Deoptimization: transfer from optimized code to the interpreter.
+
+Implements Section 5.5 of the paper end to end: when compiled code hits a
+failed guard (or an explicit Deoptimize), the frame-state chain is decoded
+into interpreter frames.  Virtual (scalar-replaced) objects referenced by
+the states are *rematerialized* on the heap from their
+EscapeObjectStateNode snapshots — including cyclic object graphs and
+elided locks — and execution continues in the bytecode interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..bytecode.classfile import Program
+from ..bytecode.heap import Heap, VMError
+from ..bytecode.interpreter import Interpreter
+from ..bytecode.opcodes import INVOKES
+from ..ir.nodes import (EscapeObjectStateNode, FrameStateNode,
+                        VirtualArrayNode, VirtualInstanceNode,
+                        VirtualObjectNode)
+
+
+class DeoptError(VMError):
+    """The frame state could not be decoded (a compiler bug)."""
+
+
+class Deoptimizer:
+    """Decodes frame states and resumes execution in the interpreter."""
+
+    def __init__(self, program: Program, heap: Heap,
+                 interpreter: Interpreter):
+        self.program = program
+        self.heap = heap
+        self.interpreter = interpreter
+        #: Optional VM hook called as ``on_deopt(root_method, state)``
+        #: before the interpreter continuation runs (code invalidation).
+        self.on_deopt = None
+
+    def deoptimize(self, state: FrameStateNode,
+                   evaluate: Callable[[Any], Any]) -> Any:
+        """Continue at *state* in the interpreter; returns the value the
+        compiled method would have returned.
+
+        *evaluate* maps IR value nodes to their current runtime values
+        (provided by the graph interpreter at the deopt site).
+        """
+        materialized: Dict[VirtualObjectNode, Any] = {}
+
+        def resolve(node):
+            if node is None:
+                return None
+            if isinstance(node, VirtualObjectNode):
+                return self._materialize(node, state, evaluate,
+                                         materialized)
+            return evaluate(node)
+
+        states = list(state.outer_chain())  # innermost first
+        if self.on_deopt is not None:
+            self.on_deopt(states[-1].method, state)
+        result: Any = None
+        has_result = False
+        for index, frame_state in enumerate(states):
+            method = frame_state.method
+            locals_ = [resolve(v) for v in frame_state.locals_values]
+            stack = [resolve(v) for v in frame_state.stack_values]
+            locks = [resolve(v) for v in frame_state.locks]
+            if index == 0:
+                pc = frame_state.bci  # re-execute the guarded instruction
+            else:
+                # Outer frame: resume after the invoke, pushing the
+                # callee's result.
+                invoke_insn = method.code[frame_state.bci]
+                if invoke_insn.op not in INVOKES:
+                    raise DeoptError(
+                        f"outer state bci {frame_state.bci} of "
+                        f"{method.qualified_name} is not an invoke")
+                callee = self.program.resolve_method(
+                    invoke_insn.operand.class_name,
+                    invoke_insn.operand.method_name)
+                if callee.return_type != "void":
+                    if not has_result:
+                        raise DeoptError("missing callee result")
+                    stack.append(result)
+                pc = frame_state.bci + 1
+            try:
+                result = self.interpreter.execute_frame(
+                    method, locals_, stack, pc)
+                has_result = True
+            finally:
+                # Method-level locks are normally released by the
+                # compiled epilogue; after deopt this frame will never
+                # reach it, so release here.
+                for lock in reversed(locks):
+                    if lock is not None:
+                        self.heap.monitor_exit(lock)
+        return result
+
+    # -- rematerialization ---------------------------------------------------
+
+    def _materialize(self, virtual: VirtualObjectNode,
+                     state: FrameStateNode,
+                     evaluate: Callable[[Any], Any],
+                     materialized: Dict[VirtualObjectNode, Any]):
+        """Recreate *virtual* on the heap (Figure 8 / Section 5.5).
+
+        Allocate-then-fill so cyclic virtual object graphs terminate.
+        """
+        if virtual in materialized:
+            return materialized[virtual]
+        mapping = state.find_mapping(virtual)
+        if mapping is None:
+            raise DeoptError(f"no EscapeObjectState for {virtual} in "
+                             f"frame state {state}")
+        if isinstance(virtual, VirtualInstanceNode):
+            obj = self.heap.new_instance(virtual.class_name)
+            materialized[virtual] = obj
+            for name, entry in zip(virtual.field_names, mapping.entries):
+                value = self._resolve_entry(entry, state, evaluate,
+                                            materialized)
+                obj.fields[name] = value
+        elif isinstance(virtual, VirtualArrayNode):
+            obj = self.heap.new_array(virtual.elem_type, virtual.length)
+            materialized[virtual] = obj
+            for index, entry in enumerate(mapping.entries):
+                obj.elements[index] = self._resolve_entry(
+                    entry, state, evaluate, materialized)
+        else:  # pragma: no cover
+            raise DeoptError(f"unknown virtual node {virtual}")
+        # Restore elided locks so later monitorexits stay balanced.
+        for _ in range(mapping.lock_count):
+            self.heap.monitor_enter(obj)
+        return obj
+
+    def _resolve_entry(self, entry, state, evaluate, materialized):
+        if entry is None:
+            return None
+        if isinstance(entry, VirtualObjectNode):
+            return self._materialize(entry, state, evaluate, materialized)
+        return evaluate(entry)

@@ -1,0 +1,272 @@
+"""Direct execution of optimized IR graphs — the "compiled code" engine.
+
+Instead of emitting machine code, the simulated machine executes the IR
+graph directly: fixed nodes are walked in control-flow order, floating
+expressions are evaluated on demand, and every executed node is charged
+its cycle cost.  Heap effects (allocations, field accesses, monitors) go
+through the same :class:`~repro.bytecode.heap.Heap` as the interpreter,
+so Table 1's allocation metrics are measured identically in every
+configuration.
+
+Failed guards and Deoptimize nodes hand off to
+:class:`~repro.runtime.deopt.Deoptimizer`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..bytecode.classfile import Program
+from ..bytecode.heap import Heap, VMError
+from ..ir.graph import Graph
+from ..ir.node import Node
+from ..ir.nodes import (ArrayLengthNode, BeginNode, BinaryArithmeticNode,
+                        ConditionalNode, ConstantNode, DeoptimizeNode,
+                        EndNode, FixedGuardNode, FrameStateNode, IfNode,
+                        InstanceOfNode, IntCompareNode, InvokeNode,
+                        IsNullNode, LoadFieldNode, LoadIndexedNode,
+                        LoadStaticNode, LoopBeginNode, LoopEndNode,
+                        LoopExitNode, MergeNode, MonitorEnterNode,
+                        MonitorExitNode, NegNode, NewArrayNode,
+                        NewInstanceNode, ParameterNode, PhiNode,
+                        RefEqualsNode, ReturnNode, StartNode,
+                        StoreFieldNode, StoreIndexedNode, StoreStaticNode)
+from .costmodel import DEFAULT_COST_MODEL, CostModel, ExecutionStats
+from .deopt import Deoptimizer
+
+#: Safety valve against miscompiled infinite loops.
+MAX_CONTROL_STEPS = 500_000_000
+
+
+class GraphExecutionError(VMError):
+    pass
+
+
+class GraphInterpreter:
+    """Executes one graph per call; reusable across calls."""
+
+    def __init__(self, program: Program, heap: Heap,
+                 invoke_callback: Callable[[str, Any, List[Any]], Any],
+                 deoptimizer: Optional[Deoptimizer] = None,
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 stats: Optional[ExecutionStats] = None):
+        self.program = program
+        self.heap = heap
+        self.invoke_callback = invoke_callback
+        self.deoptimizer = deoptimizer
+        self.cost_model = cost_model
+        self.stats = stats if stats is not None else ExecutionStats()
+
+    # -- public -----------------------------------------------------------
+
+    def execute(self, graph: Graph, args: List[Any]) -> Any:
+        """Run *graph* with *args*; returns the method's result."""
+        env: Dict[Node, Any] = {}
+        for param in graph.parameters:
+            env[param] = args[param.index]
+        multiplier = self.cost_model.icache_multiplier(graph.node_count())
+        return self._run(graph, env, multiplier)
+
+    # -- evaluation of floating expressions ----------------------------------
+
+    def _evaluate(self, node: Node, env: Dict[Node, Any],
+                  memo: Optional[Dict[Node, Any]] = None) -> Any:
+        if node in env:
+            return env[node]
+        if isinstance(node, ConstantNode):
+            return node.value
+        if memo is None:
+            memo = {}
+        elif node in memo:
+            return memo[node]
+        if isinstance(node, BinaryArithmeticNode):
+            value = node.evaluate(self._evaluate(node.x, env, memo),
+                                  self._evaluate(node.y, env, memo))
+        elif isinstance(node, IntCompareNode):
+            value = node.evaluate(self._evaluate(node.x, env, memo),
+                                  self._evaluate(node.y, env, memo))
+        elif isinstance(node, NegNode):
+            from ..bytecode.interpreter import wrap_int
+            value = wrap_int(-self._evaluate(node.value, env, memo))
+        elif isinstance(node, ConditionalNode):
+            condition = self._evaluate(node.condition, env, memo)
+            value = self._evaluate(
+                node.true_value if condition else node.false_value,
+                env, memo)
+        else:
+            raise GraphExecutionError(
+                f"cannot evaluate {node!r} (not in environment)")
+        memo[node] = value
+        self.stats.cycles += self.cost_model.node_cost(node)
+        return value
+
+    # -- the control-flow walk --------------------------------------------------
+
+    def _run(self, graph: Graph, env: Dict[Node, Any],
+             multiplier: float) -> Any:
+        cost_model = self.cost_model
+        heap = self.heap
+        stats = self.stats
+        stats.compiled_invocations += 1
+        current: Node = graph.start
+        steps = 0
+        while True:
+            steps += 1
+            if steps > MAX_CONTROL_STEPS:
+                raise GraphExecutionError("control step budget exceeded")
+            stats.node_executions += 1
+            stats.cycles += cost_model.node_cost(current) * multiplier
+
+            if isinstance(current, (StartNode, BeginNode, LoopExitNode,
+                                    MergeNode)):
+                current = current.next
+
+            elif isinstance(current, (EndNode, LoopEndNode)):
+                if isinstance(current, LoopEndNode):
+                    merge = current.loop_begin
+                else:
+                    merge = current.merge()
+                index = merge.end_index(current)
+                phis = list(merge.phis())
+                new_values = [
+                    self._evaluate(phi.values[index], env)
+                    for phi in phis]
+                for phi, value in zip(phis, new_values):
+                    env[phi] = value
+                current = merge
+
+            elif isinstance(current, IfNode):
+                condition = self._evaluate(current.condition, env)
+                current = (current.true_successor if condition
+                           else current.false_successor)
+
+            elif isinstance(current, FixedGuardNode):
+                condition = self._evaluate(current.condition, env)
+                if bool(condition) == current.negated:
+                    return self._deoptimize(current.state, current.reason,
+                                            env)
+                current = current.next
+
+            elif isinstance(current, ReturnNode):
+                if current.value is None:
+                    return None
+                return self._evaluate(current.value, env)
+
+            elif isinstance(current, DeoptimizeNode):
+                return self._deoptimize(current.state, current.reason,
+                                        env)
+
+            elif isinstance(current, NewInstanceNode):
+                on_stack = getattr(current, "stack_allocated", False)
+                obj = heap.new_instance(current.class_name, on_stack)
+                size = self.program.instance_size(current.class_name)
+                stats.cycles += (
+                    cost_model.stack_allocation_bytes_cost(size)
+                    if on_stack
+                    else cost_model.allocation_bytes_cost(size))
+                env[current] = obj
+                current = current.next
+
+            elif isinstance(current, NewArrayNode):
+                length = self._evaluate(current.length, env)
+                on_stack = getattr(current, "stack_allocated", False)
+                arr = heap.new_array(current.elem_type, length, on_stack)
+                size = self.program.array_size(length)
+                stats.cycles += (
+                    cost_model.stack_allocation_bytes_cost(size)
+                    if on_stack
+                    else cost_model.allocation_bytes_cost(size))
+                env[current] = arr
+                current = current.next
+
+            elif isinstance(current, LoadFieldNode):
+                obj = self._evaluate(current.object, env)
+                env[current] = heap.get_field(obj,
+                                              current.field.field_name)
+                current = current.next
+
+            elif isinstance(current, StoreFieldNode):
+                obj = self._evaluate(current.object, env)
+                value = self._evaluate(current.value, env)
+                heap.put_field(obj, current.field.field_name, value)
+                current = current.next
+
+            elif isinstance(current, LoadStaticNode):
+                env[current] = self.program.get_static(
+                    current.field.class_name, current.field.field_name)
+                current = current.next
+
+            elif isinstance(current, StoreStaticNode):
+                value = self._evaluate(current.value, env)
+                self.program.set_static(current.field.class_name,
+                                        current.field.field_name, value)
+                current = current.next
+
+            elif isinstance(current, LoadIndexedNode):
+                arr = self._evaluate(current.array, env)
+                index = self._evaluate(current.index, env)
+                env[current] = heap.array_load(arr, index)
+                current = current.next
+
+            elif isinstance(current, StoreIndexedNode):
+                arr = self._evaluate(current.array, env)
+                index = self._evaluate(current.index, env)
+                value = self._evaluate(current.value, env)
+                heap.array_store(arr, index, value)
+                current = current.next
+
+            elif isinstance(current, ArrayLengthNode):
+                arr = self._evaluate(current.array, env)
+                env[current] = heap.array_length(arr)
+                current = current.next
+
+            elif isinstance(current, RefEqualsNode):
+                a = self._evaluate(current.x, env)
+                b = self._evaluate(current.y, env)
+                env[current] = 1 if a is b else 0
+                current = current.next
+
+            elif isinstance(current, IsNullNode):
+                value = self._evaluate(current.value, env)
+                env[current] = 1 if value is None else 0
+                current = current.next
+
+            elif isinstance(current, InstanceOfNode):
+                value = self._evaluate(current.value, env)
+                env[current] = heap.instance_of(value, current.class_name)
+                current = current.next
+
+            elif isinstance(current, MonitorEnterNode):
+                heap.monitor_enter(self._evaluate(current.object, env))
+                current = current.next
+
+            elif isinstance(current, MonitorExitNode):
+                heap.monitor_exit(self._evaluate(current.object, env))
+                current = current.next
+
+            elif isinstance(current, InvokeNode):
+                arg_values = [self._evaluate(a, env)
+                              for a in current.arguments]
+                result = self.invoke_callback(current.kind, current.target,
+                                              arg_values)
+                if current.has_value:
+                    env[current] = result
+                current = current.next
+
+            else:
+                raise GraphExecutionError(
+                    f"unexecutable node {current!r}")
+
+    def _deoptimize(self, state: FrameStateNode, reason: str,
+                    env: Dict[Node, Any]) -> Any:
+        if self.deoptimizer is None:
+            raise GraphExecutionError(
+                f"deoptimization ({reason}) with no deoptimizer attached")
+        self.stats.deopts += 1
+        self.stats.cycles += self.cost_model.deopt
+        memo: Dict[Node, Any] = {}
+
+        def evaluate(node):
+            return self._evaluate(node, env, memo)
+
+        return self.deoptimizer.deoptimize(state, evaluate)

@@ -1,0 +1,5 @@
+"""Control-flow structure over the IR."""
+
+from .cfg import ControlFlowGraph, IRBlock
+
+__all__ = ["ControlFlowGraph", "IRBlock"]

@@ -1,0 +1,217 @@
+"""Control-flow graph over the IR's fixed nodes.
+
+Partial Escape Analysis iterates blocks in reverse post order and needs
+loop membership to run its iterative loop processing (Section 5.4); the
+cost model uses block/node counts as its code-size proxy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir.graph import Graph
+from ..ir.node import (ControlSinkNode, ControlSplitNode, FixedNode,
+                       FixedWithNextNode, IRError, Node)
+from ..ir.nodes import (BeginNode, EndNode, IfNode, LoopBeginNode,
+                        LoopEndNode, MergeNode, StartNode)
+
+
+class IRBlock:
+    """A maximal straight-line sequence of fixed nodes."""
+
+    def __init__(self, index: int, nodes: List[FixedNode]):
+        self.index = index
+        self.nodes = nodes
+        self.successors: List["IRBlock"] = []
+        self.predecessors: List["IRBlock"] = []
+
+    @property
+    def first(self) -> FixedNode:
+        return self.nodes[0]
+
+    @property
+    def last(self) -> FixedNode:
+        return self.nodes[-1]
+
+    @property
+    def is_loop_header(self) -> bool:
+        return isinstance(self.first, LoopBeginNode)
+
+    def __repr__(self):
+        return (f"<IRBlock {self.index}: {self.first!r} .. "
+                f"{self.last!r}>")
+
+
+class ControlFlowGraph:
+    """Blocks, reverse post order and natural loops of a graph."""
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        self.blocks: List[IRBlock] = []
+        self.block_of: Dict[Node, IRBlock] = {}
+        self.rpo: List[IRBlock] = []
+        self._loop_members: Dict[IRBlock, Set[IRBlock]] = {}
+        self._build()
+
+    # -- construction ---------------------------------------------------
+
+    def _build(self):
+        graph = self.graph
+        entries: List[FixedNode] = [graph.start]
+        seen: Set[Node] = {graph.start}
+        while entries:
+            first = entries.pop()
+            nodes: List[FixedNode] = [first]
+            current = first
+            while isinstance(current, FixedWithNextNode):
+                successor = current.next
+                if successor is None:
+                    raise IRError(f"{current} has no next")
+                if isinstance(successor, MergeNode):
+                    break  # merge starts its own block
+                nodes.append(successor)
+                current = successor
+            block = IRBlock(len(self.blocks), nodes)
+            self.blocks.append(block)
+            for node in nodes:
+                self.block_of[node] = block
+            # Discover new block entries.
+            last = nodes[-1]
+            targets: List[FixedNode] = []
+            if isinstance(last, ControlSplitNode):
+                targets.extend(last.successors())
+            elif isinstance(last, EndNode):
+                merge = last.merge()
+                if merge is None:
+                    raise IRError(f"{last} feeds no merge")
+                targets.append(merge)
+            elif isinstance(last, LoopEndNode):
+                targets.append(last.loop_begin)
+            elif isinstance(last, FixedWithNextNode):
+                targets.append(last.next)  # a merge
+            for target in targets:
+                if target not in seen:
+                    seen.add(target)
+                    entries.append(target)
+
+        # Edges (now that all blocks exist).
+        for block in self.blocks:
+            last = block.last
+            if isinstance(last, ControlSplitNode):
+                succs = list(last.successors())
+            elif isinstance(last, EndNode):
+                succs = [last.merge()]
+            elif isinstance(last, LoopEndNode):
+                succs = [last.loop_begin]
+            elif isinstance(last, FixedWithNextNode):
+                succs = [last.next]
+            else:  # control sink
+                succs = []
+            for succ in succs:
+                succ_block = self.block_of[succ]
+                block.successors.append(succ_block)
+                succ_block.predecessors.append(block)
+
+        self._compute_rpo()
+        self._compute_loops()
+
+    def _compute_rpo(self):
+        entry = self.block_of[self.graph.start]
+        post: List[IRBlock] = []
+        visited: Set[IRBlock] = {entry}
+        stack = [(entry, 0)]
+        while stack:
+            block, index = stack.pop()
+            # Skip back edges (LoopEnd -> LoopBegin) during the DFS.
+            successors = [s for s in block.successors
+                          if not isinstance(block.last, LoopEndNode)]
+            if index < len(successors):
+                stack.append((block, index + 1))
+                succ = successors[index]
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append((succ, 0))
+            else:
+                post.append(block)
+        self.rpo = list(reversed(post))
+
+    def _compute_loops(self):
+        for block in self.blocks:
+            if not block.is_loop_header:
+                continue
+            header: LoopBeginNode = block.first  # type: ignore[assignment]
+            members: Set[IRBlock] = {block}
+            worklist = [self.block_of[le] for le in header.loop_ends]
+            while worklist:
+                member = worklist.pop()
+                if member in members:
+                    continue
+                members.add(member)
+                worklist.extend(member.predecessors)
+            self._loop_members[block] = members
+
+    # -- dominators ------------------------------------------------------------
+
+    def compute_dominators(self) -> Dict[IRBlock, Optional[IRBlock]]:
+        """Immediate dominators (Cooper-Harvey-Kennedy), cached."""
+        if hasattr(self, "_idom"):
+            return self._idom
+        entry = self.block_of[self.graph.start]
+        rpo_index = {block: i for i, block in enumerate(self.rpo)}
+        idom: Dict[IRBlock, IRBlock] = {entry: entry}
+        changed = True
+        while changed:
+            changed = False
+            for block in self.rpo:
+                if block is entry:
+                    continue
+                preds = [p for p in block.predecessors if p in idom]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for pred in preds[1:]:
+                    new_idom = self._intersect(new_idom, pred, idom,
+                                               rpo_index)
+                if idom.get(block) is not new_idom:
+                    idom[block] = new_idom
+                    changed = True
+        self._idom = {block: (None if block is entry
+                              else idom.get(block))
+                      for block in self.blocks}
+        return self._idom
+
+    @staticmethod
+    def _intersect(a, b, idom, rpo_index):
+        while a is not b:
+            while rpo_index.get(a, 0) > rpo_index.get(b, 0):
+                a = idom[a]
+            while rpo_index.get(b, 0) > rpo_index.get(a, 0):
+                b = idom[b]
+        return a
+
+    def dominates(self, a: IRBlock, b: IRBlock) -> bool:
+        """True if block *a* dominates block *b*."""
+        idom = self.compute_dominators()
+        current: Optional[IRBlock] = b
+        while current is not None:
+            if current is a:
+                return True
+            current = idom.get(current)
+        return False
+
+    def dominator_children(self) -> Dict[IRBlock, List[IRBlock]]:
+        idom = self.compute_dominators()
+        children: Dict[IRBlock, List[IRBlock]] = {b: [] for b in
+                                                  self.blocks}
+        for block, parent in idom.items():
+            if parent is not None:
+                children[parent].append(block)
+        return children
+
+    # -- queries --------------------------------------------------------------
+
+    def loop_members(self, header_block: IRBlock) -> Set[IRBlock]:
+        return self._loop_members[header_block]
+
+    def block_containing(self, node: Node) -> Optional[IRBlock]:
+        return self.block_of.get(node)

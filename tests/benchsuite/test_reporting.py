@@ -1,0 +1,26 @@
+"""Report formatting helpers."""
+
+from repro.benchsuite.reporting import num, pct, render_table
+
+
+def test_render_table_alignment():
+    text = render_table(["name", "value"],
+                        [["alpha", "1.0"], ["b", "22.5"]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert len(lines) == 4
+    # Right-aligned numeric column.
+    assert lines[2].endswith("1.0")
+    assert lines[3].endswith("22.5")
+
+
+def test_pct_and_num_formats():
+    assert pct(3.14159) == "+3.1%"
+    assert pct(-0.05) == "-0.1%"
+    assert num(1234567) == "1,234,567"
+    assert num(3.14159, 2) == "3.14"
+
+
+def test_table_with_custom_alignment():
+    text = render_table(["a", "b"], [["x", "y"]], aligns=["r", "l"])
+    assert "x" in text and "y" in text

@@ -1,0 +1,75 @@
+"""Property-based tests of the 64-bit Java arithmetic primitives."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.bytecode import (ArithmeticTrap, java_div, java_rem, java_shl,
+                            java_shr, wrap_int)
+
+INT64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+ANY_INT = st.integers(min_value=-(2**80), max_value=2**80)
+
+
+@given(ANY_INT)
+def test_wrap_int_is_in_range(value):
+    wrapped = wrap_int(value)
+    assert -(2**63) <= wrapped < 2**63
+
+
+@given(INT64)
+def test_wrap_int_identity_in_range(value):
+    assert wrap_int(value) == value
+
+
+@given(ANY_INT)
+def test_wrap_int_congruence(value):
+    assert (wrap_int(value) - value) % (2**64) == 0
+
+
+@given(INT64, INT64)
+def test_div_rem_reconstruction(a, b):
+    if b == 0:
+        with pytest.raises(ArithmeticTrap):
+            java_div(a, b)
+        return
+    quotient, remainder = java_div(a, b), java_rem(a, b)
+    assert wrap_int(quotient * b + remainder) == a
+
+
+@given(INT64, INT64)
+def test_rem_sign_follows_dividend(a, b):
+    if b == 0:
+        return
+    remainder = java_rem(a, b)
+    if remainder != 0:
+        assert (remainder > 0) == (a > 0)
+    assert abs(remainder) < abs(b) or b == -(2**63)
+
+
+@given(INT64)
+def test_div_truncates_toward_zero(a):
+    if a == -(2**63):
+        return  # overflow wraps, Java-style
+    expected = abs(a) // 3
+    if a < 0:
+        expected = -expected
+    assert java_div(a, 3) == expected
+
+
+@given(INT64, st.integers(min_value=0, max_value=200))
+def test_shift_count_masked_to_63(a, count):
+    assert java_shl(a, count) == java_shl(a, count & 63)
+    assert java_shr(a, count) == java_shr(a, count & 63)
+
+
+@given(INT64)
+def test_shr_preserves_sign(a):
+    shifted = java_shr(a, 63)
+    assert shifted == (0 if a >= 0 else -1)
+
+
+@given(INT64, st.integers(min_value=0, max_value=50))
+def test_shl_then_shr_roundtrip_for_small_values(value, shift):
+    small = value % 1024  # fits in 10 bits; 10 + 50 < 63, no overflow
+    assert java_shr(java_shl(small, shift), shift) == small

@@ -1,0 +1,170 @@
+"""Textual assembler tests, including a disassemble-reassemble loop."""
+
+import pytest
+
+from repro.bytecode import Interpreter, VerificationError
+from repro.bytecode.asmtext import AsmSyntaxError, assemble
+
+
+def test_simple_method():
+    program = assemble("""
+        class Main
+          method double(int) -> int static locals=1
+            load 0
+            const 2
+            mul
+            return_value
+    """)
+    assert Interpreter(program).call("Main.double", 21) == 42
+
+
+def test_labels_and_loops():
+    program = assemble("""
+        class Main
+          method countdown(int) -> int static locals=1
+          loop:
+            load 0
+            const 0
+            if_le done
+            load 0
+            const 1
+            sub
+            store 0
+            goto loop
+          done:
+            load 0
+            return_value
+    """)
+    assert Interpreter(program).call("Main.countdown", 9) == 0
+
+
+def test_fields_and_objects():
+    program = assemble("""
+        class Box
+          field int v
+          field static int total
+
+        class Main
+          method bump(int) -> int static locals=2
+            new Box
+            store 1
+            load 1
+            load 0
+            putfield Box.v
+            load 1
+            getfield Box.v
+            getstatic Box.total
+            add
+            dup
+            putstatic Box.total
+            return_value
+    """)
+    interp = Interpreter(program)
+    assert interp.call("Main.bump", 5) == 5
+    assert interp.call("Main.bump", 7) == 12
+
+
+def test_method_calls_and_flags():
+    program = assemble("""
+        class Main
+          method helper(int) -> int static locals=1
+            load 0
+            const 1
+            add
+            return_value
+          method go() -> int static locals=0
+            const 41
+            invokestatic Main.helper/1
+            return_value
+    """)
+    assert Interpreter(program).call("Main.go") == 42
+
+
+def test_string_and_null_constants():
+    program = assemble("""
+        class Main
+          method pick(int) -> Object static locals=1
+            load 0
+            const 0
+            if_le no
+            const "yes"
+            return_value
+          no:
+            const null
+            return_value
+    """)
+    interp = Interpreter(program)
+    assert interp.call("Main.pick", 1) == "yes"
+    assert interp.call("Main.pick", 0) is None
+
+
+def test_comments_and_blank_lines():
+    program = assemble("""
+        ; a full-line comment
+        class Main
+
+          method id(int) -> int static locals=1
+            load 0      ; just return it
+            return_value
+    """)
+    assert Interpreter(program).call("Main.id", 3) == 3
+
+
+def test_synchronized_and_inheritance():
+    program = assemble("""
+        class Animal
+          method noise(Animal) -> int synchronized locals=1
+            const 1
+            return_value
+
+        class Dog extends Animal
+          method noise(Dog) -> int locals=1
+            const 2
+            return_value
+
+        class Main
+          method go() -> int static locals=1
+            new Dog
+            invokevirtual Animal.noise/1
+            return_value
+    """)
+    interp = Interpreter(program)
+    assert interp.call("Main.go") == 2
+
+
+def test_errors():
+    with pytest.raises(AsmSyntaxError, match="unknown opcode"):
+        assemble("class C\n  method m() -> void static\n    frobnicate\n")
+    with pytest.raises(AsmSyntaxError, match="outside class"):
+        assemble("field int x\n")
+    with pytest.raises(AsmSyntaxError, match="outside method"):
+        assemble("class C\n  const 1\n")
+    with pytest.raises(AsmSyntaxError, match="bad field"):
+        assemble("class C\n  method m() -> void static\n"
+                 "    getstatic nodot\n")
+    with pytest.raises(VerificationError):
+        assemble("class C\n  method m() -> int static\n    return_value\n")
+
+
+def test_reassembling_disassembler_like_output():
+    """The mnemonics match Op values, so hand-written text stays in sync
+    with the instruction set."""
+    from repro.bytecode.opcodes import Op
+    program = assemble("""
+        class Main
+          method ops(int, int) -> int static locals=2
+            load 0
+            load 1
+            add
+            load 0
+            load 1
+            sub
+            mul
+            neg
+            return_value
+    """)
+    code = program.method("Main.ops").code
+    assert [i.op for i in code] == [
+        Op.LOAD, Op.LOAD, Op.ADD, Op.LOAD, Op.LOAD, Op.SUB, Op.MUL,
+        Op.NEG, Op.RETURN_VALUE]
+    assert Interpreter(program).call("Main.ops", 7, 3) == -(10 * 4)

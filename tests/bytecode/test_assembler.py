@@ -1,0 +1,83 @@
+"""Assembler (label resolution) and disassembler round trips."""
+
+import pytest
+
+from repro.bytecode import (AssemblyError, BytecodeBuilder, Instruction,
+                            JMethod, Op, Program, disassemble_method,
+                            disassemble_program)
+
+
+def test_forward_and_backward_labels():
+    builder = BytecodeBuilder()
+    loop = builder.new_label("loop")
+    done = builder.new_label("done")
+    builder.bind(loop)
+    builder.load(0).const(0).branch(Op.IF_LE, done)
+    builder.load(0).const(1).sub().store(0)
+    builder.goto(loop)
+    builder.bind(done)
+    builder.load(0).return_value()
+    code = builder.finish()
+    assert code[2].operand == 8  # IF_LE -> done
+    assert code[7].operand == 0  # GOTO -> loop
+
+
+def test_unbound_label_raises():
+    builder = BytecodeBuilder()
+    label = builder.new_label("nowhere")
+    builder.goto(label)
+    with pytest.raises(AssemblyError, match="unbound"):
+        builder.finish()
+
+
+def test_double_bind_raises():
+    builder = BytecodeBuilder()
+    label = builder.new_label()
+    builder.bind(label)
+    with pytest.raises(AssemblyError):
+        builder.bind(label)
+
+
+def test_branch_rejects_non_branch_op():
+    builder = BytecodeBuilder()
+    with pytest.raises(AssemblyError):
+        builder.branch(Op.ADD, builder.new_label())
+
+
+def test_operand_validation():
+    with pytest.raises(TypeError):
+        Instruction(Op.LOAD, "not an int")
+    with pytest.raises(ValueError):
+        Instruction(Op.ADD, 3)
+    with pytest.raises(TypeError):
+        Instruction(Op.GETFIELD, "Box.v")
+
+
+def test_into_sets_code_and_locals():
+    method = JMethod("m", ["int"], "int", is_static=True)
+    builder = BytecodeBuilder()
+    builder.load(0).return_value()
+    builder.into(method, max_locals=3)
+    assert len(method.code) == 2
+    assert method.max_locals == 3
+
+
+def test_disassembly_mentions_labels_and_flags():
+    program = Program()
+    main = program.define_class("Main")
+    method = JMethod("m", ["int"], "int", is_static=True,
+                     is_synchronized=True)
+    builder = BytecodeBuilder()
+    target = builder.new_label()
+    builder.load(0).const(0).branch(Op.IF_LT, target)
+    builder.const(0).return_value()
+    builder.bind(target)
+    builder.const(1).return_value()
+    builder.into(method, max_locals=1)
+    main.add_method(method)
+    text = disassemble_method(method)
+    assert "static" in text and "synchronized" in text
+    assert "L0" in text
+    full = disassemble_program(program)
+    assert "class Main" in full
+    assert "class Object" in full

@@ -1,0 +1,94 @@
+"""Class model: resolution, layout, statics."""
+
+import pytest
+
+from repro.bytecode import (FIELD_BYTES, OBJECT_HEADER_BYTES, JClass,
+                            JField, JMethod, Program, ResolutionError)
+
+
+@pytest.fixture
+def program():
+    p = Program()
+    animal = p.define_class("Animal")
+    animal.add_field(JField("age", "int"))
+    animal.add_field(JField("population", "int", is_static=True))
+    animal.add_method(JMethod("speak", ["Animal"], "int"))
+    dog = p.define_class("Dog", "Animal")
+    dog.add_field(JField("tricks", "int"))
+    dog.add_method(JMethod("speak", ["Dog"], "int"))
+    p.define_class("Cat", "Animal")
+    return p
+
+
+def test_superclass_chain(program):
+    names = [c.name for c in program.superclasses("Dog")]
+    assert names == ["Dog", "Animal", "Object"]
+
+
+def test_subclass_checks(program):
+    assert program.is_subclass_of("Dog", "Animal")
+    assert program.is_subclass_of("Dog", "Object")
+    assert not program.is_subclass_of("Animal", "Dog")
+    assert not program.is_subclass_of("Cat", "Dog")
+
+
+def test_field_resolution_through_inheritance(program):
+    assert program.resolve_field("Dog", "age").name == "age"
+    with pytest.raises(ResolutionError):
+        program.resolve_field("Animal", "tricks")
+
+
+def test_method_resolution_overriding(program):
+    assert program.resolve_virtual("Dog", "speak").holder.name == "Dog"
+    assert program.resolve_virtual("Cat", "speak").holder.name == "Animal"
+
+
+def test_has_overrides(program):
+    animal_speak = program.lookup_class("Animal").methods["speak"]
+    dog_speak = program.lookup_class("Dog").methods["speak"]
+    assert program.has_overrides(animal_speak)
+    assert not program.has_overrides(dog_speak)
+
+
+def test_instance_layout(program):
+    fields = [f.name for f in program.instance_fields("Dog")]
+    assert fields == ["age", "tricks"]
+    assert program.instance_size("Dog") == \
+        OBJECT_HEADER_BYTES + 2 * FIELD_BYTES
+    assert program.instance_size("Object") == OBJECT_HEADER_BYTES
+
+
+def test_array_size(program):
+    assert program.array_size(0) == 24
+    assert program.array_size(10) == 24 + 80
+
+
+def test_static_storage_shared_with_subclass(program):
+    program.set_static("Dog", "population", 5)
+    assert program.get_static("Animal", "population") == 5
+    program.reset_statics()
+    assert program.get_static("Animal", "population") == 0
+
+
+def test_static_key_rejects_instance_field(program):
+    with pytest.raises(ResolutionError):
+        program.static_key("Dog", "age")
+
+
+def test_duplicate_class_rejected(program):
+    with pytest.raises(ValueError):
+        program.define_class("Dog")
+
+
+def test_duplicate_member_rejected(program):
+    dog = program.lookup_class("Dog")
+    with pytest.raises(ValueError):
+        dog.add_field(JField("tricks", "int"))
+    with pytest.raises(ValueError):
+        dog.add_method(JMethod("speak", ["Dog"], "int"))
+
+
+def test_method_lookup_by_qualified_name(program):
+    assert program.method("Dog.speak").holder.name == "Dog"
+    with pytest.raises(ResolutionError):
+        program.method("Dog.missing")

@@ -1,0 +1,304 @@
+"""Bytecode interpreter semantics, built via the assembler."""
+
+import pytest
+
+from repro.bytecode import (ArithmeticTrap, ArrayIndexError,
+                            BudgetExceeded, BytecodeBuilder, ClassCastError,
+                            Heap, IllegalMonitorState, Interpreter, JClass,
+                            JField, JMethod, NullPointerError, Op, Program,
+                            Profile, ThrownException, java_div, java_rem,
+                            verify_program, wrap_int)
+
+
+def make_program():
+    program = Program()
+    point = program.define_class("Point")
+    point.add_field(JField("x", "int"))
+    point.add_field(JField("y", "int"))
+    program.define_class("Main")
+    return program
+
+
+def add_method(program, name, params, ret, build, is_static=True,
+               max_locals=None, holder="Main", synchronized=False):
+    method = JMethod(name, params, ret, is_static=is_static,
+                     is_synchronized=synchronized)
+    builder = BytecodeBuilder()
+    build(builder)
+    locals_count = max_locals if max_locals is not None else \
+        max(len(params), 1)
+    builder.into(method, max_locals=locals_count)
+    program.lookup_class(holder).add_method(method)
+    return method
+
+
+class TestArithmetic:
+    def test_wrap_int(self):
+        assert wrap_int(2**63) == -(2**63)
+        assert wrap_int(-2**63 - 1) == 2**63 - 1
+        assert wrap_int(5) == 5
+
+    def test_java_div_truncates_toward_zero(self):
+        assert java_div(7, 2) == 3
+        assert java_div(-7, 2) == -3
+        assert java_div(7, -2) == -3
+        assert java_div(-7, -2) == 3
+
+    def test_java_rem_sign_follows_dividend(self):
+        assert java_rem(7, 3) == 1
+        assert java_rem(-7, 3) == -1
+        assert java_rem(7, -3) == 1
+
+    def test_div_by_zero_traps(self):
+        with pytest.raises(ArithmeticTrap):
+            java_div(1, 0)
+        with pytest.raises(ArithmeticTrap):
+            java_rem(1, 0)
+
+    def test_binary_ops_execute(self):
+        program = make_program()
+        cases = [
+            (Op.ADD, 9, 4, 13), (Op.SUB, 9, 4, 5), (Op.MUL, 9, 4, 36),
+            (Op.DIV, 9, 4, 2), (Op.REM, 9, 4, 1), (Op.AND, 12, 10, 8),
+            (Op.OR, 12, 10, 14), (Op.XOR, 12, 10, 6),
+            (Op.SHL, 3, 2, 12), (Op.SHR, -8, 1, -4),
+        ]
+        for index, (op, a, b, expected) in enumerate(cases):
+            add_method(program, f"m{index}", ["int", "int"], "int",
+                       lambda bb, op=op: bb.load(0).load(1).emit(op)
+                       .return_value(), max_locals=2)
+        interp = Interpreter(program)
+        for index, (op, a, b, expected) in enumerate(cases):
+            assert interp.call(f"Main.m{index}", a, b) == expected, op
+
+
+class TestControlFlow:
+    def test_loop_countdown(self):
+        program = make_program()
+
+        def build(bb):
+            loop = bb.new_label("loop")
+            done = bb.new_label("done")
+            bb.bind(loop)
+            bb.load(0).const(0).branch(Op.IF_LE, done)
+            bb.load(0).const(1).sub().store(0)
+            bb.goto(loop)
+            bb.bind(done)
+            bb.load(0).return_value()
+
+        add_method(program, "count", ["int"], "int", build)
+        interp = Interpreter(program)
+        assert interp.call("Main.count", 10) == 0
+        assert interp.call("Main.count", -5) == -5
+
+    def test_step_budget(self):
+        program = make_program()
+
+        def build(bb):
+            loop = bb.new_label("loop")
+            bb.bind(loop)
+            bb.goto(loop)
+
+        add_method(program, "spin", [], "void", build)
+        interp = Interpreter(program, step_budget=1000)
+        with pytest.raises(BudgetExceeded):
+            interp.call("Main.spin")
+
+    def test_branch_profile_recorded(self):
+        program = make_program()
+
+        def build(bb):
+            yes = bb.new_label("yes")
+            bb.load(0).const(0).branch(Op.IF_GT, yes)
+            bb.const(0).return_value()
+            bb.bind(yes)
+            bb.const(1).return_value()
+
+        method = add_method(program, "pos", ["int"], "int", build)
+        profile = Profile()
+        interp = Interpreter(program, profile=profile)
+        for value in (1, 2, 3, -1):
+            interp.call("Main.pos", value)
+        assert profile.taken_probability(method, 2) == 0.75
+        assert profile.invocation_count(method) == 4
+
+
+class TestObjects:
+    def test_field_access_and_stats(self):
+        program = make_program()
+
+        def build(bb):
+            bb.new("Point").store(1)
+            bb.load(1).load(0).putfield("Point", "x")
+            bb.load(1).getfield("Point", "x").return_value()
+
+        add_method(program, "roundtrip", ["int"], "int", build,
+                   max_locals=2)
+        interp = Interpreter(program)
+        assert interp.call("Main.roundtrip", 42) == 42
+        assert interp.heap.stats.allocations == 1
+        assert interp.heap.stats.allocated_bytes == \
+            program.instance_size("Point")
+
+    def test_null_field_access_raises(self):
+        program = make_program()
+        add_method(program, "bad", [], "int",
+                   lambda bb: bb.const(None).getfield("Point", "x")
+                   .return_value())
+        with pytest.raises(NullPointerError):
+            Interpreter(program).call("Main.bad")
+
+    def test_arrays(self):
+        program = make_program()
+
+        def build(bb):
+            bb.load(0).newarray("int").store(1)
+            bb.load(1).const(0).const(7).astore()
+            bb.load(1).const(0).aload()
+            bb.load(1).arraylength().add().return_value()
+
+        add_method(program, "arr", ["int"], "int", build, max_locals=2)
+        assert Interpreter(program).call("Main.arr", 5) == 12
+
+    def test_array_bounds(self):
+        program = make_program()
+        add_method(program, "oob", ["int"], "int",
+                   lambda bb: bb.const(2).newarray("int").load(0).aload()
+                   .return_value())
+        interp = Interpreter(program)
+        assert interp.call("Main.oob", 1) == 0
+        with pytest.raises(ArrayIndexError):
+            interp.call("Main.oob", 2)
+        with pytest.raises(ArrayIndexError):
+            interp.call("Main.oob", -1)
+
+    def test_instanceof_and_checkcast(self):
+        program = make_program()
+        sub = program.define_class("Point3", "Point")
+        sub.add_field(JField("z", "int"))
+
+        def build(bb):
+            bb.new("Point3").instanceof("Point").return_value()
+
+        add_method(program, "iof", [], "int", build)
+        add_method(program, "cast_bad", [], "int",
+                   lambda bb: bb.new("Point").checkcast("Point3").pop()
+                   .const(0).return_value())
+        interp = Interpreter(program)
+        assert interp.call("Main.iof") == 1
+        with pytest.raises(ClassCastError):
+            interp.call("Main.cast_bad")
+
+    def test_statics_shared_between_calls(self):
+        program = make_program()
+        program.lookup_class("Main").add_field(
+            JField("counter", "int", is_static=True))
+        add_method(program, "bump", [], "int",
+                   lambda bb: bb.getstatic("Main", "counter").const(1)
+                   .add().dup().putstatic("Main", "counter")
+                   .return_value())
+        interp = Interpreter(program)
+        assert interp.call("Main.bump") == 1
+        assert interp.call("Main.bump") == 2
+        program.reset_statics()
+        assert interp.call("Main.bump") == 1
+
+
+class TestMonitors:
+    def test_balanced_monitors(self):
+        program = make_program()
+
+        def build(bb):
+            bb.new("Point").store(0)
+            bb.load(0).monitorenter()
+            bb.load(0).monitorexit()
+            bb.return_void()
+
+        add_method(program, "sync", [], "void", build, max_locals=1)
+        interp = Interpreter(program)
+        interp.call("Main.sync")
+        assert interp.heap.stats.monitor_enters == 1
+        assert interp.heap.stats.monitor_exits == 1
+
+    def test_unbalanced_exit_raises(self):
+        program = make_program()
+        add_method(program, "bad", [], "void",
+                   lambda bb: bb.new("Point").monitorexit().return_void())
+        with pytest.raises(IllegalMonitorState):
+            Interpreter(program).call("Main.bad")
+
+    def test_synchronized_method_locks_receiver(self):
+        program = make_program()
+        point = program.lookup_class("Point")
+        method = JMethod("poke", ["Point"], "int")
+        builder = BytecodeBuilder()
+        builder.const(5).return_value()
+        builder.into(method, max_locals=1)
+        method.is_synchronized = True
+        point.add_method(method)
+        interp = Interpreter(program)
+        obj = interp.heap.new_instance("Point")
+        assert interp.invoke(method, [obj]) == 5
+        assert interp.heap.stats.monitor_enters == 1
+        assert interp.heap.stats.monitor_exits == 1
+        assert obj.lock_depth == 0
+
+
+class TestCallsAndNatives:
+    def test_static_call(self):
+        program = make_program()
+        add_method(program, "twice", ["int"], "int",
+                   lambda bb: bb.load(0).const(2).mul().return_value())
+        add_method(program, "four", [], "int",
+                   lambda bb: bb.const(2)
+                   .invokestatic("Main", "twice", 1).return_value())
+        assert Interpreter(program).call("Main.four") == 4
+
+    def test_virtual_dispatch(self):
+        program = make_program()
+        base = program.lookup_class("Point")
+        sub = program.define_class("Point3", "Point")
+        for holder, value in ((base, 1), (sub, 2)):
+            method = JMethod("kind", [holder.name], "int")
+            builder = BytecodeBuilder()
+            builder.const(value).return_value()
+            builder.into(method, max_locals=1)
+            holder.add_method(method)
+
+        def build(bb):
+            bb.new("Point3").invokevirtual("Point", "kind", 1)
+            bb.return_value()
+
+        add_method(program, "dispatch", [], "int", build)
+        assert Interpreter(program).call("Main.dispatch") == 2
+
+    def test_native_method(self):
+        program = make_program()
+        native = JMethod("host", ["int"], "int", is_native=True,
+                         native_impl=lambda interp, args: args[0] * 10)
+        program.lookup_class("Main").add_method(native)
+        add_method(program, "go", [], "int",
+                   lambda bb: bb.const(7).invokestatic("Main", "host", 1)
+                   .return_value())
+        assert Interpreter(program).call("Main.go") == 70
+
+    def test_throw_propagates(self):
+        program = make_program()
+        add_method(program, "boom", [], "void",
+                   lambda bb: bb.new("Point").throw())
+        with pytest.raises(ThrownException):
+            Interpreter(program).call("Main.boom")
+
+
+class TestDeoptEntry:
+    def test_execute_frame_resumes_mid_method(self):
+        program = make_program()
+
+        def build(bb):
+            bb.load(0).const(1).add().store(0)
+            bb.load(0).const(10).mul().return_value()
+
+        method = add_method(program, "resume", ["int"], "int", build)
+        interp = Interpreter(program)
+        # Start at bci 4 (skip the increment): locals already set.
+        assert interp.execute_frame(method, [5], [], 4) == 50

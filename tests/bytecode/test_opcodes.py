@@ -1,0 +1,53 @@
+"""Opcode metadata invariants."""
+
+import pytest
+
+from repro.bytecode import (CONDITIONAL_BRANCHES, INVOKES, Op, OperandKind,
+                            info)
+from repro.bytecode.opcodes import BLOCK_TERMINATORS, OP_INFO
+
+
+def test_every_opcode_has_info():
+    for op in Op:
+        assert op in OP_INFO
+
+
+def test_branches_have_target_operand():
+    for op in CONDITIONAL_BRANCHES | {Op.GOTO}:
+        assert info(op).operand is OperandKind.TARGET
+        assert info(op).is_branch
+
+
+def test_goto_is_terminator_conditionals_are_not():
+    assert info(Op.GOTO).is_terminator
+    for op in CONDITIONAL_BRANCHES:
+        assert not info(op).is_terminator
+
+
+def test_terminators():
+    for op in (Op.RETURN, Op.RETURN_VALUE, Op.THROW):
+        assert info(op).is_terminator
+        assert op in BLOCK_TERMINATORS
+
+
+def test_invokes_have_method_operand():
+    for op in INVOKES:
+        assert info(op).operand is OperandKind.METHOD
+
+
+def test_stack_effects_are_consistent():
+    # Every non-invoke opcode has non-negative pops/pushes.
+    for op, op_info in OP_INFO.items():
+        if op in INVOKES:
+            assert op_info.pops == -1 and op_info.pushes == -1
+        else:
+            assert op_info.pops >= 0
+            assert op_info.pushes >= 0
+
+
+def test_side_effects_marked():
+    for op in (Op.PUTFIELD, Op.PUTSTATIC, Op.ASTORE, Op.MONITORENTER,
+               Op.MONITOREXIT, Op.NEW, Op.NEWARRAY):
+        assert info(op).has_side_effect
+    for op in (Op.ADD, Op.LOAD, Op.GETFIELD, Op.CONST):
+        assert not info(op).has_side_effect

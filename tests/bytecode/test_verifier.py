@@ -1,0 +1,126 @@
+"""Bytecode verifier checks."""
+
+import pytest
+
+from repro.bytecode import (BytecodeBuilder, Instruction, JField, JMethod,
+                            Op, Program, VerificationError, verify_method,
+                            verify_program)
+
+
+def make(program, build, params=None, ret="int", max_locals=2):
+    method = JMethod("m", params or ["int"], ret, is_static=True)
+    builder = BytecodeBuilder()
+    build(builder)
+    builder.into(method, max_locals=max_locals)
+    program.lookup_class("Main").add_method(method)
+    return method
+
+
+@pytest.fixture
+def program():
+    p = Program()
+    p.define_class("Main")
+    box = p.define_class("Box")
+    box.add_field(JField("v", "int"))
+    box.add_field(JField("shared", "int", is_static=True))
+    return p
+
+
+def test_valid_method_passes(program):
+    method = make(program, lambda bb: bb.load(0).const(1).add()
+                  .return_value())
+    verify_method(program, method)
+
+
+def test_stack_underflow(program):
+    method = make(program, lambda bb: bb.add().return_value())
+    with pytest.raises(VerificationError, match="underflow"):
+        verify_method(program, method)
+
+
+def test_branch_target_out_of_range(program):
+    method = JMethod("m", ["int"], "int", is_static=True, max_locals=1)
+    method.code = [Instruction(Op.GOTO, 99)]
+    program.lookup_class("Main").add_method(method)
+    with pytest.raises(VerificationError, match="out of range"):
+        verify_method(program, method)
+
+
+def test_inconsistent_stack_depth_at_join(program):
+    def build(bb):
+        join = bb.new_label()
+        bb.load(0).const(0).branch(Op.IF_EQ, join)
+        bb.const(1)  # pushes on one path only
+        bb.bind(join)
+        bb.const(2).return_value()
+
+    method = make(program, build)
+    with pytest.raises(VerificationError, match="inconsistent"):
+        verify_method(program, method)
+
+
+def test_falling_off_the_end(program):
+    method = make(program, lambda bb: bb.load(0).pop())
+    with pytest.raises(VerificationError):
+        verify_method(program, method)
+
+
+def test_local_out_of_range(program):
+    method = make(program, lambda bb: bb.load(7).return_value(),
+                  max_locals=2)
+    with pytest.raises(VerificationError, match="local slot"):
+        verify_method(program, method)
+
+
+def test_unknown_field(program):
+    method = make(program, lambda bb: bb.const(None)
+                  .getfield("Box", "nope").return_value())
+    with pytest.raises(VerificationError, match="unknown field"):
+        verify_method(program, method)
+
+
+def test_static_mismatch(program):
+    method = make(program, lambda bb: bb.getstatic("Box", "v")
+                  .return_value())
+    with pytest.raises(VerificationError, match="static-ness"):
+        verify_method(program, method)
+
+
+def test_void_return_in_value_method(program):
+    method = make(program, lambda bb: bb.return_void())
+    with pytest.raises(VerificationError, match="void return"):
+        verify_method(program, method)
+
+
+def test_value_return_in_void_method(program):
+    method = make(program, lambda bb: bb.const(1).return_value(),
+                  ret="void")
+    with pytest.raises(VerificationError, match="value return"):
+        verify_method(program, method)
+
+
+def test_wrong_arg_count_in_method_ref(program):
+    method = make(program, lambda bb: bb.const(1).const(2)
+                  .invokestatic("Main", "callee", 2).return_value())
+    callee = JMethod("callee", ["int"], "int", is_static=True,
+                     max_locals=1)
+    builder = BytecodeBuilder()
+    builder.load(0).return_value()
+    builder.into(callee)
+    program.lookup_class("Main").add_method(callee)
+    with pytest.raises(VerificationError, match="parameters"):
+        verify_method(program, method)
+
+
+def test_verify_program_walks_all_methods(program):
+    make(program, lambda bb: bb.add().return_value())
+    with pytest.raises(VerificationError):
+        verify_program(program)
+
+
+def test_native_method_with_code_rejected(program):
+    method = JMethod("n", [], "int", is_native=True)
+    method.code = [Instruction(Op.RETURN)]
+    program.lookup_class("Main").add_method(method)
+    with pytest.raises(VerificationError, match="native"):
+        verify_method(program, method)

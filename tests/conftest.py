@@ -1,0 +1,7 @@
+"""Pytest configuration: make the shared harness importable from any
+test directory (see vm_harness.py for the actual helpers)."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,261 @@
+"""Graph builder: differential execution against the interpreter, and
+structural properties of the built graphs."""
+
+import pytest
+
+from repro.bytecode import Heap, Interpreter
+from repro.frontend import build_graph
+from repro.ir import nodes as N
+from repro.lang import compile_source
+from repro.runtime import Deoptimizer, GraphInterpreter
+
+
+def execute_both(source, qualified, *argsets, natives=None):
+    """Run the method via the bytecode interpreter and via the raw
+    (unoptimized) graph; results and heap effects must match."""
+    program_a = compile_source(source, natives=natives)
+    interp_results = []
+    interp = Interpreter(program_a)
+    for args in argsets:
+        program_a.reset_statics()
+        interp_results.append(interp.call(qualified, *args))
+    interp_stats = interp.heap.stats
+
+    program_b = compile_source(source, natives=natives)
+    heap = Heap(program_b)
+    graph_interp_interp = Interpreter(program_b, heap)
+    deopt = Deoptimizer(program_b, heap, graph_interp_interp)
+
+    def invoke(kind, ref, args):
+        if kind == "virtual":
+            callee = program_b.resolve_virtual(args[0].class_name,
+                                               ref.method_name)
+        else:
+            callee = program_b.resolve_method(ref.class_name,
+                                              ref.method_name)
+        return graph_interp_interp.invoke(callee, args)
+
+    gi = GraphInterpreter(program_b, heap, invoke, deopt)
+    graph = build_graph(program_b, program_b.method(qualified))
+    graph_results = []
+    for args in argsets:
+        program_b.reset_statics()
+        graph_results.append(gi.execute(graph, list(args)))
+    assert graph_results == interp_results
+    assert heap.stats.allocations == interp_stats.allocations
+    assert heap.stats.allocated_bytes == interp_stats.allocated_bytes
+    assert heap.stats.monitor_enters == interp_stats.monitor_enters
+    assert heap.stats.monitor_exits == interp_stats.monitor_exits
+    return graph, graph_results
+
+
+def test_arithmetic_kernel():
+    execute_both("""
+        class C { static int m(int a, int b) {
+            return (a + b) * (a - b) / ((b & 7) + 1) % 97;
+        } }
+    """, "C.m", (17, 5), (-3, 8), (0, 0))
+
+
+def test_branches_and_phis():
+    execute_both("""
+        class C { static int m(int a) {
+            int r = 0;
+            if (a > 10) { r = a * 2; } else { r = a - 2; }
+            if (a % 2 == 0 && r > 0) { r = r + 100; }
+            return r;
+        } }
+    """, "C.m", (20,), (3,), (4,), (-7,))
+
+
+def test_loops():
+    execute_both("""
+        class C { static int m(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i = i + 1) {
+                int j = i;
+                while (j > 0) { s = s + 1; j = j - 2; }
+            }
+            return s;
+        } }
+    """, "C.m", (0,), (1,), (9,))
+
+
+def test_objects_and_calls():
+    execute_both("""
+        class Acc {
+            int total;
+            void add(int v) { total = total + v; }
+        }
+        class C { static int m(int n) {
+            Acc acc = new Acc();
+            for (int i = 0; i < n; i = i + 1) { acc.add(i); }
+            return acc.total;
+        } }
+    """, "C.m", (6,))
+
+
+def test_arrays_and_guards():
+    execute_both("""
+        class C { static int m(int n) {
+            int[] a = new int[n];
+            for (int i = 0; i < n; i = i + 1) { a[i] = i * i; }
+            int s = 0;
+            for (int i = 0; i < a.length; i = i + 1) { s = s + a[i]; }
+            return s;
+        } }
+    """, "C.m", (8,))
+
+
+def test_statics_and_monitors():
+    execute_both("""
+        class C {
+            static Object lock;
+            static int hits;
+            static int m(int n) {
+                lock = new Object();
+                for (int i = 0; i < n; i = i + 1) {
+                    synchronized (lock) { hits = hits + 1; }
+                }
+                return hits;
+            }
+        }
+    """, "C.m", (5,))
+
+
+def test_virtual_dispatch_through_graph():
+    execute_both("""
+        class A { int f() { return 1; } }
+        class B extends A { int f() { return 2; } }
+        class C { static int m(int k) {
+            A a = null;
+            if (k > 0) { a = new B(); } else { a = new A(); }
+            return a.f();
+        } }
+    """, "C.m", (1,), (-1,))
+
+
+def test_null_guard_deopts_to_interpreter_error():
+    from repro.bytecode import NullPointerError
+    source = """
+        class Box { int v; }
+        class C { static int m(Box b) { return b.v; } }
+    """
+    program = compile_source(source)
+    heap = Heap(program)
+    interp = Interpreter(program, heap)
+    deopt = Deoptimizer(program, heap, interp)
+    gi = GraphInterpreter(program, heap, lambda *a: None, deopt)
+    graph = build_graph(program, program.method("C.m"))
+    with pytest.raises(NullPointerError):
+        gi.execute(graph, [None])
+    assert gi.stats.deopts == 1
+
+
+def test_division_guard_deopts():
+    from repro.bytecode import ArithmeticTrap
+    source = "class C { static int m(int a, int b) { return a / b; } }"
+    program = compile_source(source)
+    heap = Heap(program)
+    interp = Interpreter(program, heap)
+    deopt = Deoptimizer(program, heap, interp)
+    gi = GraphInterpreter(program, heap, lambda *a: None, deopt)
+    graph = build_graph(program, program.method("C.m"))
+    assert gi.execute(graph, [10, 3]) == 3
+    with pytest.raises(ArithmeticTrap):
+        gi.execute(graph, [10, 0])
+
+
+def test_bounds_guard_deopts():
+    from repro.bytecode import ArrayIndexError
+    source = """
+        class C { static int m(int i) {
+            int[] a = new int[3];
+            return a[i];
+        } }
+    """
+    program = compile_source(source)
+    heap = Heap(program)
+    interp = Interpreter(program, heap)
+    deopt = Deoptimizer(program, heap, interp)
+    gi = GraphInterpreter(program, heap, lambda *a: None, deopt)
+    graph = build_graph(program, program.method("C.m"))
+    assert gi.execute(graph, [2]) == 0
+    with pytest.raises(ArrayIndexError):
+        gi.execute(graph, [3])
+
+
+def test_throw_becomes_deopt_then_interpreter_raises():
+    from repro.bytecode import ThrownException
+    source = """
+        class Err { }
+        class C { static int m(int a) {
+            if (a < 0) { throw new Err(); }
+            return a;
+        } }
+    """
+    program = compile_source(source)
+    heap = Heap(program)
+    interp = Interpreter(program, heap)
+    deopt = Deoptimizer(program, heap, interp)
+    gi = GraphInterpreter(program, heap, lambda *a: None, deopt)
+    graph = build_graph(program, program.method("C.m"))
+    assert gi.execute(graph, [5]) == 5
+    with pytest.raises(ThrownException):
+        gi.execute(graph, [-1])
+
+
+def test_structure_loop_begin_single_forward_end():
+    source = """
+        class C { static int m(int n) {
+            int s = 0;
+            int i = 0;
+            if (n > 100) { i = 1; }
+            while (i < n) { s = s + i; i = i + 1; }
+            return s;
+        } }
+    """
+    program = compile_source(source)
+    graph = build_graph(program, program.method("C.m"))
+    for loop in graph.nodes_of(N.LoopBeginNode):
+        assert len(loop.ends) == 1
+
+
+def test_synchronized_method_graph_has_monitor_nodes():
+    source = """
+        class Box {
+            int v;
+            synchronized int get() { return v; }
+        }
+        class C { static int m() { return new Box().get(); } }
+    """
+    program = compile_source(source)
+    graph = build_graph(program, program.method("Box.get"))
+    enters = list(graph.nodes_of(N.MonitorEnterNode))
+    exits = list(graph.nodes_of(N.MonitorExitNode))
+    assert len(enters) == 1 and len(exits) == 1
+    # Frame states of a synchronized method list the receiver lock.
+    states = list(graph.nodes_of(N.FrameStateNode))
+    assert states
+    assert all(len(fs.locks) == 1 for fs in states)
+
+
+def test_if_probabilities_come_from_profile():
+    from repro.bytecode import Profile
+    source = """
+        class C { static int m(int a) {
+            if (a > 0) { return 1; }
+            return 0;
+        } }
+    """
+    program = compile_source(source)
+    profile = Profile()
+    interp = Interpreter(program, profile=profile)
+    for value in (1, 2, 3, 4, -1):
+        interp.call("C.m", value)
+    graph = build_graph(program, program.method("C.m"), profile)
+    if_nodes = list(graph.nodes_of(N.IfNode))
+    assert len(if_nodes) == 1
+    # Codegen emits the negated compare (IF_LE to the else branch), so
+    # the If's true side is the a <= 0 path: probability 1/5.
+    assert if_nodes[0].true_probability == pytest.approx(0.2)

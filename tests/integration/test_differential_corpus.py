@@ -1,0 +1,310 @@
+"""Hand-written differential corpus: realistic programs executed under
+every engine/configuration, checking results, heap effects and the
+allocation-monotonicity guarantee."""
+
+import pytest
+
+from vm_harness import run_everywhere
+
+
+def test_linked_list_building_and_sum():
+    runs = run_everywhere("""
+        class Node { int value; Node next; }
+        class C {
+            static int m(int n) {
+                Node head = null;
+                for (int i = 0; i < n; i = i + 1) {
+                    Node node = new Node();
+                    node.value = i;
+                    node.next = head;
+                    head = node;
+                }
+                int sum = 0;
+                while (head != null) {
+                    sum = sum + head.value;
+                    head = head.next;
+                }
+                return sum;
+            }
+        }
+    """, "C.m", (25,))
+    # Every node is reachable through the list during the second loop;
+    # they must all be real.
+    assert runs["pea"].heap.allocations == 25
+
+
+def test_string_keyed_lookup():
+    run_everywhere("""
+        class Entry { String key; int value; }
+        class C {
+            static int m(int n) {
+                Entry e1 = new Entry();
+                e1.key = "alpha";
+                e1.value = 10;
+                Entry e2 = new Entry();
+                e2.key = "beta";
+                e2.value = 20;
+                int total = 0;
+                for (int i = 0; i < n; i = i + 1) {
+                    String probe = "alpha";
+                    if (i % 2 == 0) { probe = "beta"; }
+                    if (e1.key == probe) { total = total + e1.value; }
+                    if (e2.key == probe) { total = total + e2.value; }
+                }
+                return total;
+            }
+        }
+    """, "C.m", (10,))
+
+
+def test_matrix_multiply_with_flat_arrays():
+    run_everywhere("""
+        class C {
+            static int m(int n) {
+                int[] a = new int[n * n];
+                int[] b = new int[n * n];
+                int[] c = new int[n * n];
+                for (int i = 0; i < n * n; i = i + 1) {
+                    a[i] = i + 1;
+                    b[i] = i * 2 - 3;
+                }
+                for (int i = 0; i < n; i = i + 1) {
+                    for (int j = 0; j < n; j = j + 1) {
+                        int acc = 0;
+                        for (int k = 0; k < n; k = k + 1) {
+                            acc = acc + a[i * n + k] * b[k * n + j];
+                        }
+                        c[i * n + j] = acc;
+                    }
+                }
+                int checksum = 0;
+                for (int i = 0; i < n * n; i = i + 1) {
+                    checksum = checksum ^ c[i];
+                }
+                return checksum;
+            }
+        }
+    """, "C.m", (5,))
+
+
+def test_visitor_over_class_hierarchy():
+    run_everywhere("""
+        class Shape { int area() { return 0; } }
+        class Square extends Shape {
+            int side;
+            Square(int side) { this.side = side; }
+            int area() { return side * side; }
+        }
+        class Rect extends Shape {
+            int w; int h;
+            Rect(int w, int h) { this.w = w; this.h = h; }
+            int area() { return w * h; }
+        }
+        class C {
+            static int m(int n) {
+                int total = 0;
+                for (int i = 0; i < n; i = i + 1) {
+                    Shape s = null;
+                    if (i % 3 == 0) { s = new Square(i); }
+                    else {
+                        if (i % 3 == 1) { s = new Rect(i, i + 1); }
+                        else { s = new Shape(); }
+                    }
+                    total = total + s.area();
+                    if (s instanceof Square) { total = total + 1; }
+                }
+                return total;
+            }
+        }
+    """, "C.m", (20,))
+
+
+def test_state_machine_with_boxed_states():
+    run_everywhere("""
+        class State { int id; State(int id) { this.id = id; } }
+        class C {
+            static int m(int steps) {
+                State current = new State(0);
+                int trace = 0;
+                for (int i = 0; i < steps; i = i + 1) {
+                    int next = (current.id * 3 + i) % 7;
+                    current = new State(next);
+                    trace = trace * 7 + current.id;
+                    trace = trace % 1000003;
+                }
+                return trace;
+            }
+        }
+    """, "C.m", (30,))
+
+
+def test_accumulator_passed_between_methods():
+    runs = run_everywhere("""
+        class Acc {
+            int total;
+            void add(int v) { total = total + v; }
+        }
+        class C {
+            static void addRange(Acc acc, int from, int to) {
+                for (int i = from; i < to; i = i + 1) { acc.add(i); }
+            }
+            static int m(int n) {
+                Acc acc = new Acc();
+                addRange(acc, 0, n);
+                addRange(acc, n, n * 2);
+                return acc.total;
+            }
+        }
+    """, "C.m", (10,))
+    # After inlining both calls, the accumulator never escapes.
+    assert runs["pea"].heap.allocations == 0
+
+
+def test_exception_style_error_signalling():
+    from repro.bytecode import ThrownException
+    source = """
+        class Err { int code; Err(int code) { this.code = code; } }
+        class C {
+            static int checked(int v) {
+                if (v < 0) { throw new Err(v); }
+                return v * 2;
+            }
+            static int m(int n) {
+                int acc = 0;
+                for (int i = 0; i < n; i = i + 1) {
+                    acc = acc + checked(i);
+                }
+                return acc;
+            }
+        }
+    """
+    run_everywhere(source, "C.m", (10,))
+    # And the throwing path behaves identically everywhere.
+    from vm_harness import run_config, run_interpreted
+    from repro.jit import CompilerConfig
+    with pytest.raises(ThrownException):
+        run_interpreted(source, "C.checked", (-1,))
+    with pytest.raises(ThrownException):
+        run_config(source, "C.checked", (-1,),
+                   CompilerConfig.partial_escape(),
+                   warmup_args=(5,))
+
+
+def test_object_graph_rotation():
+    run_everywhere("""
+        class Cell { Cell next; int v; }
+        class C {
+            static int m(int n) {
+                Cell a = new Cell();
+                Cell b = new Cell();
+                Cell c = new Cell();
+                a.next = b; b.next = c; c.next = a;
+                a.v = 1; b.v = 2; c.v = 3;
+                Cell cursor = a;
+                int acc = 0;
+                for (int i = 0; i < n; i = i + 1) {
+                    acc = acc + cursor.v;
+                    cursor = cursor.next;
+                }
+                return acc;
+            }
+        }
+    """, "C.m", (10,))
+
+
+def test_global_cache_with_eviction():
+    run_everywhere("""
+        class CacheLine {
+            int tag; int data;
+            CacheLine(int tag, int data) { this.tag = tag; this.data = data; }
+        }
+        class C {
+            static CacheLine line0;
+            static CacheLine line1;
+            static int lookups;
+            static int m(int n) {
+                int hits = 0;
+                for (int i = 0; i < n; i = i + 1) {
+                    int tag = (i / 4) % 3;
+                    lookups = lookups + 1;
+                    if (line0 != null && line0.tag == tag) {
+                        hits = hits + line0.data;
+                    } else {
+                        if (line1 != null && line1.tag == tag) {
+                            hits = hits + line1.data;
+                            line1 = line0;
+                        }
+                        line0 = new CacheLine(tag, tag * 100);
+                    }
+                }
+                return hits + lookups;
+            }
+        }
+    """, "C.m", (40,))
+
+
+def test_synchronized_producer_consumer_queue():
+    run_everywhere("""
+        class Queue {
+            int[] items;
+            int head; int tail;
+            Queue(int capacity) { this.items = new int[capacity]; }
+            synchronized void put(int v) {
+                items[tail % items.length] = v;
+                tail = tail + 1;
+            }
+            synchronized int take() {
+                int v = items[head % items.length];
+                head = head + 1;
+                return v;
+            }
+        }
+        class C {
+            static int m(int n) {
+                Queue q = new Queue(16);
+                int acc = 0;
+                for (int i = 0; i < n; i = i + 1) {
+                    q.put(i * 3);
+                    if (i % 2 == 1) { acc = acc + q.take(); }
+                }
+                return acc;
+            }
+        }
+    """, "C.m", (16,))
+
+
+def test_nested_conditionals_with_partial_escape():
+    run_everywhere("""
+        class Buf { int v; }
+        class C {
+            static Buf spill;
+            static int m(int n) {
+                int acc = 0;
+                for (int i = 0; i < n; i = i + 1) {
+                    Buf b = new Buf();
+                    b.v = i * i;
+                    if (i % 8 == 0) {
+                        if (i % 16 == 0) { spill = b; }
+                        acc = acc + b.v * 2;
+                    } else {
+                        acc = acc + b.v;
+                    }
+                }
+                return acc;
+            }
+        }
+    """, "C.m", (32,))
+
+
+def test_recursion_with_objects():
+    run_everywhere("""
+        class Frame { int depth; Frame(int depth) { this.depth = depth; } }
+        class C {
+            static int descend(int depth) {
+                Frame f = new Frame(depth);
+                if (f.depth <= 0) { return 0; }
+                return f.depth + descend(f.depth - 1);
+            }
+            static int m(int n) { return descend(n); }
+        }
+    """, "C.m", (12,))

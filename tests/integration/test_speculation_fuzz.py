@@ -1,0 +1,107 @@
+"""Speculation/deoptimization fuzzing: warm up on benign inputs so the
+compiler speculates, then hit the cold paths and require exact agreement
+with the interpreter (including rematerialized heap state)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.bytecode import Interpreter
+from repro.jit import VM, CompilerConfig
+from repro.lang import compile_source
+
+TEMPLATE = """
+class Rec {{
+    int a; int b; Rec link;
+    Rec(int a, int b) {{ this.a = a; this.b = b; }}
+}}
+class Main {{
+    static Rec sink;
+    static int work(int v) {{
+        Rec r = new Rec(v, v * 3 + 1);
+        if ({cold1}) {{
+            sink = r;
+            return r.a - r.b;
+        }}
+        Rec s = new Rec(r.b, r.a);
+        s.link = r;
+        if ({cold2}) {{
+            sink = s;
+            return s.link.a * 2;
+        }}
+        return r.a + s.b - s.a;
+    }}
+    static int run(int from, int n) {{
+        int acc = 0;
+        for (int i = 0; i < n; i = i + 1) {{
+            acc = acc + work(from + i);
+        }}
+        return acc;
+    }}
+}}
+"""
+
+CONDITIONS = [
+    ("v == 31337", "v == 90001"),
+    ("v > 99999", "v % 7777 == 3"),
+    ("(v & 8191) == 77", "v < -99999"),
+    ("v * v == 1048576", "v == 55555"),
+]
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(pattern=st.integers(0, len(CONDITIONS) - 1),
+       trigger_base=st.integers(0, 200_000),
+       span=st.integers(1, 120))
+def test_cold_paths_agree_with_interpreter(pattern, trigger_base, span):
+    cold1, cold2 = CONDITIONS[pattern]
+    source = TEMPLATE.format(cold1=cold1, cold2=cold2)
+
+    program = compile_source(source)
+    vm = VM(program, CompilerConfig.partial_escape())
+    # Warm on a benign window so speculation kicks in (profiling only
+    # happens while interpreted: keep the default compile threshold).
+    for _ in range(8):
+        vm.call("Main.run", 0, 60)
+        program.reset_statics()
+    compiled_result = vm.call("Main.run", trigger_base, span)
+    compiled_sink = program.get_static("Main", "sink")
+
+    reference_program = compile_source(source)
+    interp = Interpreter(reference_program)
+    expected = interp.call("Main.run", trigger_base, span)
+    expected_sink = reference_program.get_static("Main", "sink")
+
+    assert compiled_result == expected
+    # The rematerialized sink (if any) matches field-for-field.
+    if expected_sink is None:
+        assert compiled_sink is None
+    else:
+        assert compiled_sink is not None
+        assert compiled_sink.fields["a"] == expected_sink.fields["a"]
+        assert compiled_sink.fields["b"] == expected_sink.fields["b"]
+    # Monitors stay balanced and the heap accounting is sane.
+    stats = vm.heap.stats
+    assert stats.monitor_enters == stats.monitor_exits
+
+
+def test_repeated_triggers_cause_invalidation_then_stability():
+    source = TEMPLATE.format(cold1="v == 1000001", cold2="v == 2000002")
+    program = compile_source(source)
+    vm = VM(program, CompilerConfig.partial_escape())
+    for _ in range(8):
+        vm.call("Main.run", 0, 60)
+        program.reset_statics()
+    # Hammer the first cold path until the code is invalidated.
+    for _ in range(8):
+        vm.call("Main.run", 1000001, 1)
+    assert vm.invalidations >= 1
+    deopts_before = vm.exec_stats.deopts
+    for _ in range(5):
+        vm.call("Main.run", 1000001, 1)
+    assert vm.exec_stats.deopts == deopts_before  # recompiled w/o guess
+    # And results still agree with the interpreter.
+    interp = Interpreter(compile_source(source))
+    assert vm.call("Main.run", 1000000, 5) == \
+        interp.call("Main.run", 1000000, 5)

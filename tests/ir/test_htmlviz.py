@@ -1,0 +1,74 @@
+"""HTML/SVG graph visualization tests."""
+
+import pytest
+
+from repro.frontend import build_graph
+from repro.ir.htmlviz import layout, render_html, render_svg, write_html
+from repro.lang import compile_source
+
+SOURCE = """
+class Box { int v; }
+class C {
+    static Box g;
+    static int m(int a) {
+        Box b = new Box();
+        b.v = a;
+        if (a > 0) { g = b; }
+        int s = 0;
+        for (int i = 0; i < a; i = i + 1) { s = s + b.v; }
+        return s;
+    }
+}
+"""
+
+
+@pytest.fixture
+def graph():
+    program = compile_source(SOURCE)
+    return build_graph(program, program.method("C.m"))
+
+
+def test_layout_covers_all_fixed_nodes(graph):
+    positions = layout(graph)
+    fixed = [n for n in graph.nodes() if n.is_fixed]
+    for node in fixed:
+        assert node in positions
+    # No two nodes share a cell.
+    assert len(set(positions.values())) == len(positions)
+
+
+def test_svg_contains_nodes_and_edges(graph):
+    svg = render_svg(graph)
+    assert svg.startswith("<svg")
+    assert "NewInstance" in svg
+    assert "LoopBegin" in svg
+    assert svg.count("<rect") >= 10
+    assert "marker-end" in svg  # control edges
+
+
+def test_frame_states_hidden_by_default(graph):
+    import re
+
+    def labeled(svg):
+        return [t for t in re.findall(r"<text[^>]*>([^<]*)</text>", svg)
+                if "FrameState" in t]
+
+    assert not labeled(render_svg(graph))
+    assert labeled(render_svg(graph, include_states=True))
+
+
+def test_html_document(graph, tmp_path):
+    path = write_html(graph, str(tmp_path / "g.html"))
+    content = open(path).read()
+    assert content.startswith("<!DOCTYPE html>")
+    assert "control flow" in content
+    assert "</html>" in content
+
+
+def test_labels_are_escaped(graph):
+    # repr of field refs contains dots/brackets; ensure no raw '<' from
+    # node text leaks outside tags.
+    svg = render_svg(graph)
+    import re
+    for text in re.findall(r"<text[^>]*>([^<]*)</text>", svg):
+        assert "<" not in text

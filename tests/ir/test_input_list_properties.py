@@ -1,0 +1,80 @@
+"""Property-based tests of the NodeInputList usage bookkeeping.
+
+The def-use invariant everything else relies on: at any time, a node's
+usage count for a user equals the number of input slots of that user
+currently referencing it.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.ir import Graph, nodes as N
+
+
+def build_pool(size=4):
+    graph = Graph()
+    pool = [graph.constant(i) for i in range(size)]
+    state = graph.add(N.FrameStateNode(None, 0))
+    return graph, pool, state
+
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("append"), st.integers(0, 3)),
+        st.tuples(st.just("set"), st.integers(0, 30), st.integers(0, 3)),
+        st.tuples(st.just("pop"), st.just(0)),
+        st.tuples(st.just("replace"), st.integers(0, 3),
+                  st.integers(0, 3)),
+        st.tuples(st.just("clear"), st.just(0)),
+    ),
+    max_size=40)
+
+
+@settings(max_examples=200, deadline=None)
+@given(OPS)
+def test_usage_counts_match_model(operations):
+    graph, pool, state = build_pool()
+    node_list = state.locals_values
+    model = []
+    for op, *args in operations:
+        if op == "append":
+            value = pool[args[0]]
+            node_list.append(value)
+            model.append(value)
+        elif op == "set":
+            index, pool_index = args
+            if model:
+                index %= len(model)
+                value = pool[pool_index]
+                node_list[index] = value
+                model[index] = value
+        elif op == "pop":
+            if model:
+                assert node_list.pop() is model.pop()
+        elif op == "replace":
+            old, new = pool[args[0]], pool[args[1]]
+            if old is not new:
+                state.replace_input(old, new)
+                model = [new if v is old else v for v in model]
+        elif op == "clear":
+            node_list.clear()
+            model = []
+        # Invariant: list contents match the model...
+        assert list(node_list) == model
+        # ...and every pool node's usage count equals its occurrences.
+        for value in pool:
+            expected = model.count(value)
+            actual = value._usages.get(state, 0)
+            assert actual == expected, (value, expected, actual)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(0, 3), min_size=1, max_size=10))
+def test_clear_inputs_releases_everything(picks):
+    graph, pool, state = build_pool()
+    for pick in picks:
+        state.locals_values.append(pool[pick])
+        state.stack_values.append(pool[pick])
+    state.clear_inputs()
+    for value in pool:
+        assert state not in value._usages

@@ -1,0 +1,112 @@
+"""Node/edge machinery: usages, predecessors, input lists."""
+
+import pytest
+
+from repro.ir import Graph, IRError, nodes as N
+
+
+def graph_with_start():
+    graph = Graph()
+    graph.start = graph.add(N.StartNode())
+    return graph
+
+
+def test_usage_tracking_on_input_slots():
+    graph = Graph()
+    a = graph.add(N.ConstantNode(1))
+    b = graph.add(N.ConstantNode(2))
+    add = graph.add(N.BinaryArithmeticNode("add", x=a, y=b))
+    assert add in a.usages and add in b.usages
+    add.x = b
+    assert add not in a.usages
+    assert b.usage_count() == 2
+
+
+def test_duplicate_input_reference_counted():
+    graph = Graph()
+    a = graph.add(N.ConstantNode(1))
+    add = graph.add(N.BinaryArithmeticNode("add", x=a, y=a))
+    assert a.usage_count() == 2
+    add.x = None
+    assert a.usage_count() == 1
+    assert add in a.usages
+
+
+def test_input_list_operations():
+    graph = Graph()
+    merge = graph.add(N.MergeNode())
+    phi = graph.add(N.PhiNode(merge=merge))
+    v1, v2 = graph.constant(1), graph.constant(2)
+    phi.values.append(v1)
+    phi.values.append(v2)
+    assert phi in v1.usages
+    phi.values[0] = v2
+    assert phi not in v1.usages
+    assert v2.usage_count() == 2
+    phi.values.pop()
+    assert v2.usage_count() == 1
+
+
+def test_replace_input_covers_lists_and_slots():
+    graph = Graph()
+    v1, v2 = graph.constant(1), graph.constant(2)
+    state = graph.add(N.FrameStateNode(None, 0))
+    state.locals_values.extend([v1, v1])
+    state.replace_input(v1, v2)
+    assert list(state.locals_values) == [v2, v2]
+    assert state not in v1.usages
+
+
+def test_successor_sets_predecessor():
+    graph = graph_with_start()
+    ret = graph.add(N.ReturnNode())
+    graph.start.next = ret
+    assert ret.predecessor is graph.start
+    graph.start.next = None
+    assert ret.predecessor is None
+
+
+def test_second_predecessor_rejected():
+    graph = graph_with_start()
+    begin = graph.add(N.BeginNode())
+    graph.start.next = begin
+    other = graph.add(N.BeginNode())
+    with pytest.raises(IRError, match="predecessor"):
+        other.next = begin
+
+
+def test_replace_at_usages():
+    graph = Graph()
+    a, b = graph.constant(1), graph.constant(2)
+    add = graph.add(N.BinaryArithmeticNode("add", x=a, y=a))
+    neg = graph.add(N.NegNode(value=a))
+    a.replace_at_usages(b)
+    assert add.x is b and add.y is b and neg.value is b
+    assert a.has_no_usages()
+
+
+def test_safe_delete_requires_no_usages():
+    graph = Graph()
+    a = graph.constant(1)
+    graph.add(N.NegNode(value=a))
+    with pytest.raises(IRError, match="usages"):
+        a.safe_delete()
+
+
+def test_unknown_input_kwarg_rejected():
+    with pytest.raises(TypeError):
+        N.ReturnNode(bogus=None)
+
+
+def test_constants_are_value_numbered():
+    graph = Graph()
+    assert graph.constant(5) is graph.constant(5)
+    assert graph.constant(None) is graph.null
+    # bool and int constants don't collide
+    assert graph.constant(1) is not graph.constant(True)
+
+
+def test_node_repr_contains_id_and_name():
+    graph = Graph()
+    c = graph.constant(3)
+    assert repr(c).startswith(f"{c.id}|Constant")

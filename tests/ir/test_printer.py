@@ -1,0 +1,81 @@
+"""Textual graph dumps."""
+
+import pytest
+
+from repro.frontend import build_graph
+from repro.ir import dump_graph, format_node, to_dot
+from repro.ir import nodes as N
+from repro.lang import compile_source
+
+SOURCE = """
+class Box { int v; }
+class C {
+    static int m(int a) {
+        Box b = new Box();
+        if (a > 0) { b.v = a; } else { b.v = -a; }
+        int s = 0;
+        for (int i = 0; i < a; i = i + 1) { s = s + b.v; }
+        return s;
+    }
+}
+"""
+
+
+@pytest.fixture
+def graph():
+    program = compile_source(SOURCE)
+    return build_graph(program, program.method("C.m"))
+
+
+def test_dump_lists_control_flow_in_order(graph):
+    text = dump_graph(graph, include_floating=False)
+    lines = text.splitlines()
+    assert lines[0].startswith("graph")
+    start_at = next(i for i, l in enumerate(lines) if "Start" in l)
+    return_at = max(i for i, l in enumerate(lines) if "Return" in l)
+    assert start_at < return_at
+
+
+def test_dump_shows_phis_under_their_merge(graph):
+    text = dump_graph(graph, include_floating=False)
+    lines = text.splitlines()
+    merge_lines = [i for i, l in enumerate(lines)
+                   if "Merge" in l or "LoopBegin" in l]
+    assert merge_lines
+    phi_lines = [i for i, l in enumerate(lines) if "Phi" in l]
+    assert phi_lines
+    # Every phi line follows some merge line.
+    assert min(phi_lines) > min(merge_lines)
+
+
+def test_floating_section_optional(graph):
+    with_floating = dump_graph(graph, include_floating=True)
+    without = dump_graph(graph, include_floating=False)
+    assert "-- floating --" in with_floating
+    assert "-- floating --" not in without
+    assert len(with_floating) > len(without)
+
+
+def test_format_node_includes_named_inputs(graph):
+    store = next(iter(graph.nodes_of(N.StoreFieldNode)))
+    text = format_node(store)
+    assert "StoreField" in text
+    assert "object=" in text and "value=" in text
+
+
+def test_dot_edges_reference_existing_nodes(graph):
+    import re
+    dot = to_dot(graph)
+    declared = set(re.findall(r"^  n(\d+) \[", dot, re.M))
+    for src, dst in re.findall(r"n(\d+) -> n(\d+)", dot):
+        assert src in declared and dst in declared
+
+
+def test_dump_survives_post_pea_graph():
+    from repro.jit import Compiler, CompilerConfig
+    program = compile_source(SOURCE)
+    result = Compiler(program,
+                      CompilerConfig.partial_escape()).compile(
+        program.method("C.m"))
+    text = dump_graph(result.graph)
+    assert "Start" in text and "Return" in text

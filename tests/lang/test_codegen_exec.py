@@ -1,0 +1,311 @@
+"""Language semantics: compiled programs executed on the interpreter."""
+
+import pytest
+
+from repro.bytecode import Interpreter, ThrownException
+from repro.lang import compile_source
+
+
+def run(source, entry, *args, natives=None):
+    program = compile_source(source, natives=natives)
+    return Interpreter(program).call(entry, *args)
+
+
+def test_arithmetic_and_locals():
+    assert run("""
+        class C { static int m(int a, int b) {
+            int c = a * b + a % b - (a / b);
+            return c << 1 >> 1;
+        } }
+    """, "C.m", 17, 5) == (17 * 5 + 17 % 5 - 17 // 5)
+
+
+def test_boolean_short_circuit():
+    source = """
+        class C {
+            static int calls;
+            static boolean bump() { calls = calls + 1; return true; }
+            static int m(boolean b) {
+                if (b && bump()) { }
+                if (b || bump()) { }
+                return calls;
+            }
+        }
+    """
+    assert run(source, "C.m", False) == 1  # only the || side calls bump
+    assert run(source, "C.m", True) == 1  # only the && side calls bump
+
+
+def test_boolean_as_value():
+    assert run("""
+        class C { static boolean m(int a, int b) { return a < b; } }
+    """, "C.m", 1, 2) == 1
+    assert run("""
+        class C { static boolean m(boolean x) { return !x; } }
+    """, "C.m", 1) == 0
+
+
+def test_while_and_for_loops():
+    assert run("""
+        class C { static int m(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i = i + 1) { s = s + i; }
+            int j = 0;
+            while (j < n) { s = s + 1; j = j + 1; }
+            return s;
+        } }
+    """, "C.m", 10) == 45 + 10
+
+
+def test_break_continue():
+    assert run("""
+        class C { static int m(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i = i + 1) {
+                if (i % 2 == 0) { continue; }
+                if (i > 6) { break; }
+                s = s + i;
+            }
+            return s;
+        } }
+    """, "C.m", 100) == 1 + 3 + 5
+
+
+def test_constructor_and_fields():
+    assert run("""
+        class Point {
+            int x; int y;
+            Point(int x, int y) { this.x = x; this.y = y; }
+            int manhattan() { return x + y; }
+        }
+        class C { static int m() {
+            Point p = new Point(3, 4);
+            p.x = p.x + 10;
+            return p.manhattan();
+        } }
+    """, "C.m") == 17
+
+
+def test_default_constructor_and_field_defaults():
+    assert run("""
+        class Box { int v; Object o; }
+        class C { static int m() {
+            Box b = new Box();
+            if (b.o == null) { return b.v + 1; }
+            return -1;
+        } }
+    """, "C.m") == 1
+
+
+def test_inheritance_and_dispatch():
+    assert run("""
+        class Animal { int speak() { return 1; } }
+        class Dog extends Animal { int speak() { return 2; } }
+        class C { static int m(boolean dog) {
+            Animal a = null;
+            if (dog) { a = new Dog(); } else { a = new Animal(); }
+            return a.speak();
+        } }
+    """, "C.m", 1) == 2
+
+
+def test_instanceof_and_cast():
+    assert run("""
+        class Animal { }
+        class Dog extends Animal { int tricks; }
+        class C { static int m() {
+            Animal a = new Dog();
+            if (a instanceof Dog) {
+                Dog d = (Dog) a;
+                d.tricks = 5;
+                return d.tricks;
+            }
+            return 0;
+        } }
+    """, "C.m") == 5
+
+
+def test_arrays_of_refs():
+    assert run("""
+        class Box { int v; Box(int v) { this.v = v; } }
+        class C { static int m(int n) {
+            Box[] boxes = new Box[n];
+            for (int i = 0; i < n; i = i + 1) { boxes[i] = new Box(i); }
+            int s = 0;
+            for (int i = 0; i < n; i = i + 1) { s = s + boxes[i].v; }
+            return s + boxes.length;
+        } }
+    """, "C.m", 5) == 10 + 5
+
+
+def test_statics():
+    assert run("""
+        class C {
+            static int counter;
+            static int m(int n) {
+                for (int i = 0; i < n; i = i + 1) { counter = counter + 2; }
+                return counter;
+            }
+        }
+    """, "C.m", 4) == 8
+
+
+def test_synchronized_block_and_method():
+    source = """
+        class Lock {
+            synchronized int locked() { return 1; }
+        }
+        class C { static int m() {
+            Lock lock = new Lock();
+            int r = 0;
+            synchronized (lock) { r = lock.locked(); }
+            return r;
+        } }
+    """
+    program = compile_source(source)
+    interp = Interpreter(program)
+    assert interp.call("C.m") == 1
+    assert interp.heap.stats.monitor_enters == 2
+    assert interp.heap.stats.monitor_exits == 2
+
+
+def test_return_inside_synchronized_releases_monitor():
+    source = """
+        class C {
+            static Object lock;
+            static int m() {
+                synchronized (lock) { return 42; }
+            }
+            static int go() {
+                lock = new Object();
+                return m();
+            }
+        }
+    """
+    program = compile_source(source)
+    interp = Interpreter(program)
+    assert interp.call("C.go") == 42
+    assert interp.heap.stats.monitor_enters == \
+        interp.heap.stats.monitor_exits == 1
+
+
+def test_break_inside_synchronized_releases_monitor():
+    source = """
+        class C {
+            static int m(Object lock) {
+                int n = 0;
+                for (int i = 0; i < 10; i = i + 1) {
+                    synchronized (lock) {
+                        n = n + 1;
+                        if (i == 3) { break; }
+                    }
+                }
+                return n;
+            }
+            static int go() { return m(new Object()); }
+        }
+    """
+    program = compile_source(source)
+    interp = Interpreter(program)
+    assert interp.call("C.go") == 4
+    assert interp.heap.stats.monitor_enters == \
+        interp.heap.stats.monitor_exits == 4
+
+
+def test_throw_uncaught():
+    with pytest.raises(ThrownException):
+        run("""
+            class Err { }
+            class C { static void m() { throw new Err(); } }
+        """, "C.m")
+
+
+def test_native_binding():
+    assert run("""
+        class C {
+            static native int host(int x);
+            static int m() { return host(4); }
+        }
+    """, "C.m", natives={"C.host": lambda interp, args: args[0] ** 2}) \
+        == 16
+
+
+def test_native_must_be_declared():
+    with pytest.raises(ValueError, match="not declared native"):
+        compile_source("class C { static int m() { return 1; } }",
+                       natives={"C.m": lambda i, a: 0})
+
+
+def test_string_literal_values():
+    assert run("""
+        class C { static Object m(boolean b) {
+            String s = "yes";
+            if (b) { return s; }
+            return "no";
+        } }
+    """, "C.m", 1) == "yes"
+
+
+def test_string_reference_equality():
+    # Identical literals are the same interned constant.
+    assert run("""
+        class C { static boolean m() {
+            String a = "x";
+            String b = "x";
+            return a == b;
+        } }
+    """, "C.m") == 1
+
+
+def test_deep_expression_nesting():
+    assert run("""
+        class C { static int m(int x) {
+            return ((x + 1) * (x + 2) - (x + 3)) % ((x & 7) + 1);
+        } }
+    """, "C.m", 11) == ((12 * 13) - 14) % ((11 & 7) + 1)
+
+
+def test_uninitialized_local_defaults_to_null():
+    assert run("""
+        class C { static boolean m() {
+            Object o;
+            o = null;
+            return o == null;
+        } }
+    """, "C.m") == 1
+
+
+def test_ternary_operator():
+    assert run("""
+        class C { static int m(int a, int b) {
+            return (a > b ? a : b) - (a < b ? a : b);
+        } }
+    """, "C.m", 3, 9) == 6
+    assert run("""
+        class C { static Object m(boolean b) {
+            return b ? "yes" : null;
+        } }
+    """, "C.m", 1) == "yes"
+
+
+def test_ternary_nesting_right_associative():
+    assert run("""
+        class C { static int m(int a) {
+            return a < 0 ? -1 : a == 0 ? 0 : 1;
+        } }
+    """, "C.m", -5) == -1
+
+
+def test_ternary_short_circuits_side_effects():
+    source = """
+        class C {
+            static int calls;
+            static int bump(int v) { calls = calls + 1; return v; }
+            static int m(boolean b) {
+                int r = b ? bump(1) : bump(2);
+                return r * 10 + calls;
+            }
+        }
+    """
+    assert run(source, "C.m", 1) == 11
+    assert run(source, "C.m", 0) == 21

@@ -1,0 +1,70 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.lang import LexError, TokenKind, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)
+            if t.kind is not TokenKind.EOF]
+
+
+def test_keywords_vs_identifiers():
+    tokens = kinds("class Foo extends Bar classy")
+    assert tokens == [
+        (TokenKind.KEYWORD, "class"), (TokenKind.IDENT, "Foo"),
+        (TokenKind.KEYWORD, "extends"), (TokenKind.IDENT, "Bar"),
+        (TokenKind.IDENT, "classy")]
+
+
+def test_numbers():
+    assert kinds("0 42 123456") == [
+        (TokenKind.INT, "0"), (TokenKind.INT, "42"),
+        (TokenKind.INT, "123456")]
+
+
+def test_maximal_munch_operators():
+    tokens = [t.text for t in tokenize("a<=b<<c==d&&e")
+              if t.kind is TokenKind.PUNCT]
+    assert tokens == ["<=", "<<", "==", "&&"]
+
+
+def test_string_literals_with_escapes():
+    tokens = tokenize(r'"hello\nworld" "tab\there"')
+    assert tokens[0].value if hasattr(tokens[0], "value") else \
+        tokens[0].text == "hello\nworld"
+    assert tokens[1].text == "tab\there"
+
+
+def test_unterminated_string():
+    with pytest.raises(LexError, match="unterminated"):
+        tokenize('"no end')
+
+
+def test_line_comment_skipped():
+    assert kinds("a // comment\nb") == [
+        (TokenKind.IDENT, "a"), (TokenKind.IDENT, "b")]
+
+
+def test_block_comment_skipped_and_lines_counted():
+    tokens = tokenize("a /* multi\nline */ b")
+    idents = [t for t in tokens if t.kind is TokenKind.IDENT]
+    assert [t.text for t in idents] == ["a", "b"]
+    assert idents[1].line == 2
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(LexError):
+        tokenize("/* never ends")
+
+
+def test_unexpected_character():
+    with pytest.raises(LexError, match="unexpected"):
+        tokenize("a $ b")
+
+
+def test_positions():
+    tokens = tokenize("ab\n  cd")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)

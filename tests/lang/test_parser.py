@@ -1,0 +1,145 @@
+"""Parser tests on AST shapes."""
+
+import pytest
+
+from repro.lang import ParseError, parse
+from repro.lang import ast_nodes as ast
+
+
+def parse_one(source):
+    unit = parse(source)
+    assert len(unit.classes) == 1
+    return unit.classes[0]
+
+
+def first_stmt(source_body):
+    decl = parse_one(
+        "class C { static void m() { " + source_body + " } }")
+    return decl.methods[0].body.statements[0]
+
+
+def parse_expr(text):
+    stmt = first_stmt(f"int x = {text};")
+    return stmt.init
+
+
+def test_class_with_members():
+    decl = parse_one("""
+        class Point extends Base {
+            int x;
+            static Point origin;
+            Point(int x) { this.x = x; }
+            synchronized int getX() { return x; }
+            static native int now();
+        }
+    """)
+    assert decl.name == "Point"
+    assert decl.superclass == "Base"
+    assert [f.name for f in decl.fields] == ["x", "origin"]
+    assert decl.fields[1].is_static
+    names = [m.name for m in decl.methods]
+    assert names == ["<init>", "getX", "now"]
+    assert decl.methods[0].is_constructor
+    assert decl.methods[1].is_synchronized
+    assert decl.methods[2].is_native and decl.methods[2].is_static
+
+
+def test_precedence():
+    expr = parse_expr("1 + 2 * 3")
+    assert isinstance(expr, ast.Binary) and expr.op == "+"
+    assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+
+def test_left_associativity():
+    expr = parse_expr("10 - 3 - 2")
+    assert expr.op == "-"
+    assert isinstance(expr.left, ast.Binary) and expr.left.op == "-"
+    assert expr.right.value == 2
+
+
+def test_logical_precedence():
+    stmt = first_stmt("boolean b = x < 1 && y > 2 || z == 3;")
+    expr = stmt.init
+    assert expr.op == "||"
+    assert expr.left.op == "&&"
+
+
+def test_unary_and_negative_literal_folding():
+    assert parse_expr("-5").value == -5
+    expr = parse_expr("-x")
+    assert isinstance(expr, ast.Unary) and expr.op == "-"
+
+
+def test_cast_vs_parenthesized():
+    cast = parse_expr("(Point) p")
+    assert isinstance(cast, ast.Cast) and cast.class_name == "Point"
+    paren = parse_expr("(p)")
+    assert isinstance(paren, ast.VarRef)
+
+
+def test_postfix_chains():
+    expr = parse_expr("a.b.c(1)[2].d")
+    assert isinstance(expr, ast.FieldAccess) and expr.name == "d"
+    assert isinstance(expr.receiver, ast.ArrayIndex)
+    call = expr.receiver.array
+    assert isinstance(call, ast.Call) and call.method_name == "c"
+
+
+def test_new_object_and_array():
+    obj = parse_expr("new Point(1, 2)")
+    assert isinstance(obj, ast.NewObject) and len(obj.args) == 2
+    arr = parse_expr("new int[10]")
+    assert isinstance(arr, ast.NewArray)
+    ref_arr = parse_expr("new Point[3]")
+    assert isinstance(ref_arr, ast.NewArray)
+    assert ref_arr.elem_type.name == "Point"
+
+
+def test_instanceof():
+    expr = parse_expr("p instanceof Point")
+    assert isinstance(expr, ast.InstanceOf)
+
+
+def test_statements():
+    body = """
+        int i = 0;
+        while (i < 10) { i = i + 1; }
+        for (int j = 0; j < 5; j = j + 1) { break; }
+        if (i == 10) { return; } else { throw null; }
+    """
+    decl = parse_one("class C { static void m() { " + body + " } }")
+    stmts = decl.methods[0].body.statements
+    assert isinstance(stmts[0], ast.LocalDecl)
+    assert isinstance(stmts[1], ast.While)
+    assert isinstance(stmts[2], ast.For)
+    assert isinstance(stmts[3], ast.If)
+
+
+def test_synchronized_block():
+    stmt = first_stmt("synchronized (lock) { lock = null; }")
+    assert isinstance(stmt, ast.Synchronized)
+
+
+def test_declaration_vs_expression_disambiguation():
+    decl = first_stmt("Point p = null;")
+    assert isinstance(decl, ast.LocalDecl)
+    arr_decl = first_stmt("Point[] ps = null;")
+    assert isinstance(arr_decl, ast.LocalDecl)
+    assert arr_decl.decl_type.is_array
+    assign = first_stmt("p = q;")
+    assert isinstance(assign, ast.Assign)
+
+
+def test_invalid_assignment_target():
+    with pytest.raises(ParseError, match="assignment target"):
+        parse("class C { static void m() { 1 + 2 = 3; } }")
+
+
+def test_missing_semicolon():
+    with pytest.raises(ParseError):
+        parse("class C { static void m() { int x = 1 } }")
+
+
+def test_unbalanced_braces():
+    with pytest.raises(ParseError):
+        parse("class C { static void m() {")

@@ -1,0 +1,199 @@
+"""Type checker: acceptance and rejection cases."""
+
+import pytest
+
+from repro.lang import TypeError_, parse, typecheck
+
+
+def check(source):
+    return typecheck(parse(source))
+
+
+def reject(source, match):
+    with pytest.raises(TypeError_, match=match):
+        check(source)
+
+
+def test_valid_program():
+    check("""
+        class Box { int v; Box(int v) { this.v = v; } }
+        class Main {
+            static int get(Box b) {
+                if (b == null) { return 0; }
+                return b.v;
+            }
+        }
+    """)
+
+
+def test_unknown_type():
+    reject("class C { Unknown f; }", "unknown type")
+
+
+def test_unknown_variable():
+    reject("class C { static void m() { x = 1; } }", "unknown variable")
+
+
+def test_arithmetic_needs_ints():
+    reject("class C { static void m() { int x = true + 1; } }",
+           "needs ints")
+
+
+def test_condition_must_be_boolean():
+    reject("class C { static void m() { if (1) { } } }", "boolean")
+
+
+def test_assignment_compatibility():
+    reject("class C { static void m() { int x = null; } }",
+           "cannot assign")
+    check("""
+        class A {}
+        class B extends A {}
+        class C { static void m() { A a = new B(); } }
+    """)
+    reject("""
+        class A {}
+        class B extends A {}
+        class C { static void m() { B b = new A(); } }
+    """, "cannot assign")
+
+
+def test_return_type_checked():
+    reject("class C { static int m() { return null; } }", "cannot return")
+    reject("class C { static void m() { return 1; } }", "returns a value")
+    reject("class C { static int m() { return; } }", "missing return")
+
+
+def test_this_in_static_context():
+    reject("class C { int f; static int m() { return this.f; } }",
+           "static context")
+
+
+def test_instance_field_in_static_context():
+    reject("class C { int f; static int m() { return f; } }",
+           "static context")
+
+
+def test_implicit_this_field_access():
+    check("class C { int f; int m() { return f; } }")
+
+
+def test_duplicate_local():
+    reject("class C { static void m() { int x = 1; int x = 2; } }",
+           "duplicate local")
+
+
+def test_call_arity_and_types():
+    reject("""
+        class C {
+            static int f(int a) { return a; }
+            static void m() { f(1, 2); }
+        }
+    """, "arguments")
+    reject("""
+        class C {
+            static int f(int a) { return a; }
+            static void m() { f(null); }
+        }
+    """, "not assignable")
+
+
+def test_no_overloading():
+    reject("""
+        class C {
+            static int f(int a) { return a; }
+            static int f(boolean b) { return 0; }
+        }
+    """, "no overloading")
+
+
+def test_constructor_checking():
+    reject("""
+        class Box { Box(int v) { } }
+        class C { static void m() { Box b = new Box(); } }
+    """, "arguments")
+    check("""
+        class Box { }
+        class C { static void m() { Box b = new Box(); } }
+    """)
+
+
+def test_break_outside_loop():
+    reject("class C { static void m() { break; } }", "outside a loop")
+
+
+def test_array_rules():
+    check("""
+        class C {
+            static int m() {
+                int[] a = new int[4];
+                a[0] = 1;
+                return a[0] + a.length;
+            }
+        }
+    """)
+    reject("class C { static void m() { int x = 1; int y = x[0]; } }",
+           "non-array")
+    reject("""
+        class C { static void m() { int[] a = new int[2]; a.length = 3; } }
+    """, "array length")
+
+
+def test_reference_equality_mixing_rejected():
+    reject("""
+        class C { static boolean m(Object o) { return o == 1; } }
+    """, "cannot compare")
+
+
+def test_synchronized_needs_reference():
+    reject("class C { static void m() { synchronized (1) { } } }",
+           "reference")
+
+
+def test_static_call_on_instance_rejected():
+    reject("""
+        class A { static int f() { return 1; } }
+        class C { static int m(A a) { return a.f(); } }
+    """, "static method")
+
+
+def test_instance_method_call_resolution():
+    checker = check("""
+        class A { int f() { return 1; } }
+        class B extends A { }
+        class C { static int m(B b) { return b.f(); } }
+    """)
+    assert checker.resolve_method("B", "f").declaring_class == "A"
+
+
+def test_string_literals_are_objects():
+    check("""
+        class C {
+            static Object m() { Object s = "hello"; return s; }
+        }
+    """)
+
+
+def test_inheritance_cycle_detected():
+    reject("""
+        class A extends B { }
+        class B extends A { }
+    """, "cycle")
+
+
+def test_expression_statement_must_have_effect():
+    reject("class C { static void m() { 1 + 2; } }", "no effect")
+
+
+def test_ternary_types():
+    check("""
+        class A {}
+        class B extends A {}
+        class C { static A m(boolean b) {
+            return b ? new B() : new A();
+        } }
+    """)
+    reject("class C { static void m(boolean b) { int x = b ? 1 : null; } }",
+           "incompatible ternary")
+    reject("class C { static void m() { int x = 1 ? 2 : 3; } }",
+           "boolean")

@@ -1,0 +1,168 @@
+"""Canonicalizer: folding, identities, branch elimination."""
+
+import pytest
+
+from repro.frontend import build_graph
+from repro.ir import Graph, nodes as N
+from repro.lang import compile_source
+from repro.opt import CanonicalizerPhase, DeadCodeEliminationPhase
+
+
+def build(source, qualified="C.m"):
+    program = compile_source(source)
+    return program, build_graph(program, program.method(qualified))
+
+
+def canonicalize(graph):
+    CanonicalizerPhase().run(graph)
+    DeadCodeEliminationPhase().run(graph)
+    graph.verify()
+    return graph
+
+
+def returned_value(graph):
+    rets = list(graph.nodes_of(N.ReturnNode))
+    assert len(rets) == 1
+    return rets[0].value
+
+
+def test_constant_folding_arithmetic():
+    program, graph = build(
+        "class C { static int m() { return (3 + 4) * 2 - 5; } }")
+    canonicalize(graph)
+    value = returned_value(graph)
+    assert isinstance(value, N.ConstantNode) and value.value == 9
+
+
+def test_add_zero_identity():
+    program, graph = build(
+        "class C { static int m(int a) { return a + 0; } }")
+    canonicalize(graph)
+    assert isinstance(returned_value(graph), N.ParameterNode)
+
+
+def test_mul_identities():
+    program, graph = build(
+        "class C { static int m(int a) { return (a * 1) + (a * 0); } }")
+    canonicalize(graph)
+    assert isinstance(returned_value(graph), N.ParameterNode)
+
+
+def test_sub_self_is_zero():
+    program, graph = build(
+        "class C { static int m(int a) { return a - a; } }")
+    canonicalize(graph)
+    value = returned_value(graph)
+    assert isinstance(value, N.ConstantNode) and value.value == 0
+
+
+def test_compare_folding_collapses_branch():
+    program, graph = build("""
+        class C { static int m() {
+            int r = 0;
+            if (3 < 5) { r = 1; } else { r = 2; }
+            return r;
+        } }
+    """)
+    canonicalize(graph)
+    assert not list(graph.nodes_of(N.IfNode))
+    value = returned_value(graph)
+    assert isinstance(value, N.ConstantNode) and value.value == 1
+
+
+def test_dead_branch_allocation_removed_with_branch():
+    program, graph = build("""
+        class Box { int v; }
+        class C { static int m() {
+            if (1 == 2) { Box b = new Box(); b.v = 3; return b.v; }
+            return 7;
+        } }
+    """)
+    assert list(graph.nodes_of(N.NewInstanceNode))
+    canonicalize(graph)
+    assert not list(graph.nodes_of(N.NewInstanceNode))
+    value = returned_value(graph)
+    assert value.value == 7
+
+
+def test_division_by_zero_not_folded():
+    program, graph = build(
+        "class C { static int m() { return 1 / 0; } }")
+    canonicalize(graph)
+    # The guard's condition folded to 0 -> guard becomes Deoptimize.
+    assert list(graph.nodes_of(N.DeoptimizeNode))
+    assert not list(graph.nodes_of(N.ReturnNode))
+
+
+def test_guard_with_true_condition_removed():
+    program, graph = build(
+        "class C { static int m(int a) { return a / 2; } }")
+    guards_before = list(graph.nodes_of(N.FixedGuardNode))
+    assert guards_before
+    canonicalize(graph)
+    assert not list(graph.nodes_of(N.FixedGuardNode))
+
+
+def test_is_null_on_allocation_folds():
+    program, graph = build("""
+        class Box { }
+        class C { static boolean m() { return new Box() == null; } }
+    """)
+    canonicalize(graph)
+    value = returned_value(graph)
+    assert isinstance(value, N.ConstantNode) and value.value == 0
+
+
+def test_null_guard_on_fresh_allocation_absent():
+    program, graph = build("""
+        class Box { int v; }
+        class C { static int m() {
+            Box b = new Box();
+            return b.v;
+        } }
+    """)
+    # The builder already knows allocations are non-null.
+    assert not [g for g in graph.nodes_of(N.FixedGuardNode)
+                if g.reason == "null_check"]
+
+
+def test_degenerate_phi_removed():
+    program, graph = build("""
+        class C { static int m(int a) {
+            int r = 5;
+            if (a > 0) { r = 5; }
+            return r + a;
+        } }
+    """)
+    canonicalize(graph)
+    assert not list(graph.nodes_of(N.PhiNode))
+
+
+def test_while_false_loop_removed():
+    program, graph = build("""
+        class C { static int m(int a) {
+            while (1 > 2) { a = a + 1; }
+            return a;
+        } }
+    """)
+    canonicalize(graph)
+    assert not list(graph.nodes_of(N.LoopBeginNode))
+    assert isinstance(returned_value(graph), N.ParameterNode)
+
+
+def test_ref_equals_same_input_folds():
+    program, graph = build("""
+        class C { static boolean m(Object o) { return o == o; } }
+    """)
+    canonicalize(graph)
+    value = returned_value(graph)
+    assert isinstance(value, N.ConstantNode) and value.value == 1
+
+
+def test_fixed_point_iterates():
+    # Folding one layer exposes the next: ((1+2)+3)+p*0 -> 6
+    program, graph = build(
+        "class C { static int m(int p) { return ((1+2)+3) + p * 0; } }")
+    canonicalize(graph)
+    value = returned_value(graph)
+    assert isinstance(value, N.ConstantNode) and value.value == 6

@@ -1,0 +1,136 @@
+"""Conditional elimination tests."""
+
+import pytest
+
+from repro.frontend import build_graph
+from repro.ir import nodes as N
+from repro.lang import compile_source
+from repro.opt import (DeadCodeEliminationPhase,
+                       GlobalValueNumberingPhase)
+from repro.opt.conditional_elimination import ConditionalEliminationPhase
+
+
+def build(source, qualified="C.m"):
+    program = compile_source(source)
+    graph = build_graph(program, program.method(qualified))
+    GlobalValueNumberingPhase().run(graph)  # share condition nodes
+    return program, graph
+
+
+def run_phase(graph):
+    changed = ConditionalEliminationPhase().run(graph)
+    DeadCodeEliminationPhase().run(graph)
+    graph.verify()
+    return changed
+
+
+def count_ifs(graph):
+    return len(list(graph.nodes_of(N.IfNode)))
+
+
+def execute(program, graph, args):
+    from repro.bytecode import Heap, Interpreter
+    from repro.runtime import Deoptimizer, GraphInterpreter
+    heap = Heap(program)
+    interp = Interpreter(program, heap)
+    gi = GraphInterpreter(program, heap, lambda *a: None,
+                          Deoptimizer(program, heap, interp))
+    return gi.execute(graph, list(args))
+
+
+def test_nested_identical_condition_folds():
+    program, graph = build("""
+        class C { static int m(int x, int y) {
+            int r = 0;
+            if (x < y) {
+                r = 1;
+                if (x < y) { r = 2; } else { r = 99; }
+            }
+            return r;
+        } }
+    """)
+    assert count_ifs(graph) == 2
+    assert run_phase(graph)
+    assert count_ifs(graph) == 1
+    assert execute(program, graph, [1, 5]) == 2
+    assert execute(program, graph, [5, 1]) == 0
+
+
+def test_negated_branch_side():
+    program, graph = build("""
+        class C { static int m(int x) {
+            if (x > 0) { return 1; }
+            if (x > 0) { return 99; }
+            return 3;
+        } }
+    """)
+    assert run_phase(graph)
+    assert count_ifs(graph) == 1
+    assert execute(program, graph, [5]) == 1
+    assert execute(program, graph, [-5]) == 3
+
+
+def test_redundant_null_guard_removed():
+    program, graph = build("""
+        class Box { int v; int w; }
+        class C { static int m(Box b, int k) {
+            int a = b.v;
+            if (k > 0) { a = a + b.w; }
+            return a;
+        } }
+    """)
+    guards_before = len([g for g in graph.nodes_of(N.FixedGuardNode)
+                         if g.reason == "null_check"])
+    assert guards_before == 2
+    run_phase(graph)
+    guards_after = len([g for g in graph.nodes_of(N.FixedGuardNode)
+                        if g.reason == "null_check"])
+    assert guards_after == 1
+    # The remaining guard still catches a null receiver properly.
+    from repro.bytecode import NullPointerError
+    with pytest.raises(NullPointerError):
+        execute(program, graph, [None, 0])
+
+
+def test_facts_do_not_leak_to_siblings():
+    program, graph = build("""
+        class C { static int m(int x, int k) {
+            int r = 0;
+            if (k > 0) {
+                if (x > 5) { r = 1; }
+            } else {
+                if (x > 5) { r = 2; }
+            }
+            return r;
+        } }
+    """)
+    # x > 5 inside the else must NOT be folded by the then-side fact.
+    run_phase(graph)
+    assert execute(program, graph, [10, 1]) == 1
+    assert execute(program, graph, [10, -1]) == 2
+    assert execute(program, graph, [1, -1]) == 0
+
+
+def test_semantics_preserved_differentially():
+    import sys
+    sys.path.insert(0, "tests")
+    source = """
+        class C { static int m(int x, int y) {
+            int r = 0;
+            if (x < y) {
+                if (x < y) { r = r + 1; }
+                if (y <= x) { r = r + 100; }
+            }
+            if (x == y) { r = r + 7; }
+            if (x == y) { r = r + 7; }
+            return r;
+        } }
+    """
+    program, graph = build(source)
+    run_phase(graph)
+    from repro.bytecode import Interpreter
+    reference_program = compile_source(source)
+    interp = Interpreter(reference_program)
+    for args in ((1, 2), (2, 1), (3, 3), (0, 0)):
+        assert execute(program, graph, args) == \
+            interp.call("C.m", *args), args

@@ -1,0 +1,112 @@
+"""Global value numbering and dead code elimination."""
+
+import pytest
+
+from repro.frontend import build_graph
+from repro.ir import nodes as N
+from repro.lang import compile_source
+from repro.opt import (CanonicalizerPhase, DeadCodeEliminationPhase,
+                       GlobalValueNumberingPhase)
+
+
+def build(source, qualified="C.m"):
+    program = compile_source(source)
+    return program, build_graph(program, program.method(qualified))
+
+
+def count(graph, node_type):
+    return len(list(graph.nodes_of(node_type)))
+
+
+class TestGVN:
+    def test_common_subexpression_merged(self):
+        program, graph = build(
+            "class C { static int m(int a, int b) {"
+            " return (a + b) * (a + b); } }")
+        assert count(graph, N.BinaryArithmeticNode) == 3
+        GlobalValueNumberingPhase().run(graph)
+        graph.verify()
+        assert count(graph, N.BinaryArithmeticNode) == 2
+
+    def test_commutativity_normalized(self):
+        program, graph = build(
+            "class C { static int m(int a, int b) {"
+            " return (a + b) + (b + a); } }")
+        GlobalValueNumberingPhase().run(graph)
+        adds = [n for n in graph.nodes_of(N.BinaryArithmeticNode)]
+        assert len(adds) == 2  # a+b (once) and the outer sum
+
+    def test_non_commutative_not_merged(self):
+        program, graph = build(
+            "class C { static int m(int a, int b) {"
+            " return (a - b) + (b - a); } }")
+        GlobalValueNumberingPhase().run(graph)
+        subs = [n for n in graph.nodes_of(N.BinaryArithmeticNode)
+                if n.op == "sub"]
+        assert len(subs) == 2
+
+    def test_compares_merged(self):
+        program, graph = build("""
+            class C { static int m(int a, int b) {
+                int r = 0;
+                if (a < b) { r = r + 1; }
+                if (a < b) { r = r + 1; }
+                return r;
+            } }
+        """)
+        assert count(graph, N.IntCompareNode) == 2
+        GlobalValueNumberingPhase().run(graph)
+        assert count(graph, N.IntCompareNode) == 1
+
+    def test_loads_never_merged(self):
+        program, graph = build("""
+            class Box { int v; }
+            class C { static int m(Box b) { return b.v + b.v; } }
+        """)
+        GlobalValueNumberingPhase().run(graph)
+        assert count(graph, N.LoadFieldNode) == 2
+
+
+class TestDCE:
+    def test_unused_pure_load_removed(self):
+        program, graph = build("""
+            class Box { int v; }
+            class C { static int m(Box b) {
+                int dead = b.v;
+                return 1;
+            } }
+        """)
+        # The load survives if a frame state references it; this method
+        # has no side effects after the load except the return.
+        DeadCodeEliminationPhase().run(graph)
+        graph.verify()
+        assert count(graph, N.LoadFieldNode) == 0
+
+    def test_unused_allocation_kept(self):
+        # Removing unused allocations is Escape Analysis' job, not DCE's.
+        program, graph = build("""
+            class Box { }
+            class C { static int m() {
+                Box dead = new Box();
+                return 1;
+            } }
+        """)
+        DeadCodeEliminationPhase().run(graph)
+        assert count(graph, N.NewInstanceNode) == 1
+
+    def test_store_never_removed(self):
+        program, graph = build("""
+            class Box { int v; }
+            class C { static void m(Box b) { b.v = 1; } }
+        """)
+        DeadCodeEliminationPhase().run(graph)
+        assert count(graph, N.StoreFieldNode) == 1
+
+    def test_orphaned_floating_chain_swept(self):
+        program, graph = build(
+            "class C { static int m(int a) { int x = a * 3 + 1;"
+            " return a; } }")
+        before = graph.node_count()
+        DeadCodeEliminationPhase().run(graph)
+        assert graph.node_count() < before
+        assert count(graph, N.BinaryArithmeticNode) == 0

@@ -1,0 +1,190 @@
+"""Inlining: mechanics, policy, frame-state chaining."""
+
+import pytest
+
+from repro.frontend import build_graph
+from repro.ir import nodes as N
+from repro.lang import compile_source
+from repro.opt import (CanonicalizerPhase, DeadCodeEliminationPhase,
+                       InliningPhase, InliningPolicy)
+
+
+def build(source, qualified="C.m"):
+    program = compile_source(source)
+    return program, build_graph(program, program.method(qualified))
+
+
+def inline(program, graph, policy=None):
+    phase = InliningPhase(program, policy)
+    phase.run(graph)
+    graph.verify()
+    return phase
+
+
+def invokes(graph):
+    return list(graph.nodes_of(N.InvokeNode))
+
+
+def test_static_call_inlined():
+    program, graph = build("""
+        class C {
+            static int callee(int x) { return x * 2; }
+            static int m(int a) { return callee(a) + 1; }
+        }
+    """)
+    assert len(invokes(graph)) == 1
+    phase = inline(program, graph)
+    assert not invokes(graph)
+    assert "C.callee" in phase.inlined
+
+
+def test_monomorphic_virtual_inlined():
+    program, graph = build("""
+        class Box { int v; int get() { return v; } }
+        class C { static int m(Box b) { return b.get(); } }
+    """)
+    inline(program, graph)
+    assert not invokes(graph)
+
+
+def test_polymorphic_virtual_not_inlined():
+    program, graph = build("""
+        class A { int f() { return 1; } }
+        class B extends A { int f() { return 2; } }
+        class C { static int m(A a) { return a.f(); } }
+    """)
+    inline(program, graph)
+    assert len(invokes(graph)) == 1
+
+
+def test_native_not_inlined():
+    program, graph = build("""
+        class C {
+            static native int host(int x);
+            static int m(int a) { return host(a); }
+        }
+    """)
+    inline(program, graph)
+    assert len(invokes(graph)) == 1
+
+
+def test_recursion_not_inlined_forever():
+    program, graph = build("""
+        class C {
+            static int fact(int n) {
+                if (n <= 1) { return 1; }
+                return n * fact(n - 1);
+            }
+            static int m(int a) { return fact(a); }
+        }
+    """)
+    inline(program, graph)
+    # fact is inlined once into m, but fact's self-call remains.
+    assert len(invokes(graph)) == 1
+
+
+def test_size_policy_respected():
+    program, graph = build("""
+        class C {
+            static int big(int x) {
+                int s = 0;
+                s = s + x; s = s + x; s = s + x; s = s + x;
+                s = s + x; s = s + x; s = s + x; s = s + x;
+                s = s + x; s = s + x; s = s + x; s = s + x;
+                return s;
+            }
+            static int m(int a) { return big(a); }
+        }
+    """)
+    policy = InliningPolicy(max_callee_size=5)
+    inline(program, graph, policy)
+    assert len(invokes(graph)) == 1
+
+
+def test_frame_states_chained_to_call_site():
+    program, graph = build("""
+        class Box {
+            int v;
+            void set(int x) { v = x; }
+        }
+        class C { static void m(Box b) { b.set(7); } }
+    """)
+    inline(program, graph)
+    stores = list(graph.nodes_of(N.StoreFieldNode))
+    assert len(stores) == 1
+    state = stores[0].state_after
+    assert state.method.qualified_name == "Box.set"
+    assert state.outer is not None
+    assert state.outer.method.qualified_name == "C.m"
+
+
+def test_synchronized_callee_brings_monitor_nodes():
+    program, graph = build("""
+        class Box {
+            int v;
+            synchronized int get() { return v; }
+        }
+        class C { static int m(Box b) { return b.get(); } }
+    """)
+    inline(program, graph)
+    assert len(list(graph.nodes_of(N.MonitorEnterNode))) == 1
+    assert len(list(graph.nodes_of(N.MonitorExitNode))) == 1
+
+
+def test_multiple_returns_merge_with_phi():
+    program, graph = build("""
+        class C {
+            static int pick(int x) {
+                if (x > 0) { return 1; }
+                return 2;
+            }
+            static int m(int a) { return pick(a); }
+        }
+    """)
+    inline(program, graph)
+    merges = list(graph.nodes_of(N.MergeNode))
+    assert merges
+    phis = [p for m in merges for p in m.phis()]
+    assert phis
+
+
+def test_inlined_execution_matches(tmp_path):
+    from repro.bytecode import Heap, Interpreter
+    from repro.runtime import Deoptimizer, GraphInterpreter
+    source = """
+        class Vec {
+            int x; int y;
+            Vec(int x, int y) { this.x = x; this.y = y; }
+            int dot(Vec o) { return x * o.x + y * o.y; }
+        }
+        class C { static int m(int a, int b) {
+            Vec v = new Vec(a, b);
+            Vec w = new Vec(b, a);
+            return v.dot(w);
+        } }
+    """
+    program, graph = build(source)
+    inline(program, graph)
+    CanonicalizerPhase().run(graph)
+    DeadCodeEliminationPhase().run(graph)
+    heap = Heap(program)
+    interp = Interpreter(program, heap)
+    gi = GraphInterpreter(program, heap, lambda *a: None,
+                          Deoptimizer(program, heap, interp))
+    assert gi.execute(graph, [3, 4]) == 3 * 4 + 4 * 3
+
+
+def test_depth_limit():
+    program, graph = build("""
+        class C {
+            static int f1(int x) { return f2(x) + 1; }
+            static int f2(int x) { return f3(x) + 1; }
+            static int f3(int x) { return x; }
+            static int m(int a) { return f1(a); }
+        }
+    """)
+    policy = InliningPolicy(max_depth=2)
+    inline(program, graph, policy)
+    # f1 at depth 0->1, f2 at 1->2; f3 would be depth 2 -> blocked.
+    assert len(invokes(graph)) == 1
+    assert invokes(graph)[0].target.method_name == "f3"

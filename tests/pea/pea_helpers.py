@@ -1,0 +1,62 @@
+"""Helpers to run the full pipeline up to (and including) PEA and
+execute the optimized graph."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import pytest
+
+from repro.bytecode import Heap, Interpreter
+from repro.frontend import build_graph
+from repro.lang import compile_source
+from repro.opt import (CanonicalizerPhase, DeadCodeEliminationPhase,
+                       GlobalValueNumberingPhase, InliningPhase)
+from repro.pea import PartialEscapePhase
+from repro.runtime import Deoptimizer, GraphInterpreter
+
+
+def optimize(source, qualified, natives=None, inline=True,
+             pea_iterations=2):
+    """source -> (program, optimized graph, PEAResult)."""
+    program = compile_source(source, natives=natives)
+    graph = build_graph(program, program.method(qualified))
+    if inline:
+        InliningPhase(program).run(graph)
+    CanonicalizerPhase().run(graph)
+    GlobalValueNumberingPhase().run(graph)
+    DeadCodeEliminationPhase().run(graph)
+    pea = PartialEscapePhase(program, pea_iterations)
+    pea.run(graph)
+    CanonicalizerPhase().run(graph)
+    GlobalValueNumberingPhase().run(graph)
+    DeadCodeEliminationPhase().run(graph)
+    graph.verify()
+    return program, graph, pea.last_result
+
+
+def execute(program, graph, args, natives_dispatch=True):
+    """Run the optimized graph; returns (result, heap stats)."""
+    heap = Heap(program)
+    interp = Interpreter(program, heap)
+    deopt = Deoptimizer(program, heap, interp)
+
+    def invoke(kind, ref, call_args):
+        if kind == "virtual":
+            callee = program.resolve_virtual(call_args[0].class_name,
+                                             ref.method_name)
+        else:
+            callee = program.resolve_method(ref.class_name,
+                                            ref.method_name)
+        return interp.invoke(callee, call_args)
+
+    gi = GraphInterpreter(program, heap, invoke, deopt)
+    result = gi.execute(graph, list(args))
+    return result, heap.stats, gi.stats
+
+
+def reference(source, qualified, args, natives=None):
+    program = compile_source(source, natives=natives)
+    interp = Interpreter(program)
+    result = interp.call(qualified, *args)
+    return result, interp.heap.stats

@@ -1,0 +1,174 @@
+"""Section 5.5 / Figure 8: frame-state rewriting for deoptimization."""
+
+import pytest
+
+from repro.ir import nodes as N
+
+from pea_helpers import execute, optimize
+
+
+def test_listing8_store_state_references_virtual_object():
+    """Figure 8 (b): after PEA, the store's frame state references the
+    virtual object's Id, and a snapshot of the VirtualState is attached."""
+    source = """
+        class IntBox {
+            int value;
+            IntBox(int value) { this.value = value; }
+        }
+        class C {
+            static Object global;
+            static int foo(int x) {
+                IntBox i = new IntBox(x);
+                global = null;
+                return i.value;
+            }
+        }
+    """
+    program, graph, __ = optimize(source, "C.foo")
+    # The allocation and the constructor store are gone...
+    assert not list(graph.nodes_of(N.NewInstanceNode))
+    # ...but the store to the global remains, with a rewritten state.
+    stores = list(graph.nodes_of(N.StoreStaticNode))
+    assert len(stores) == 1
+    state = stores[0].state_after
+    virtual_refs = [v for v in state.locals_values
+                    if isinstance(v, N.VirtualObjectNode)]
+    assert virtual_refs, "state must reference the virtual object Id"
+    mapping = state.find_mapping(virtual_refs[0])
+    assert mapping is not None
+    assert len(mapping.entries) == 1  # the 'value' field snapshot
+
+
+def test_mapping_snapshot_is_positional():
+    """Two stores at different positions snapshot different field
+    values."""
+    source = """
+        class Box { int v; }
+        class C {
+            static int sink;
+            static int m(int x) {
+                Box b = new Box();
+                b.v = x;
+                sink = 1;
+                b.v = x * 2;
+                sink = 2;
+                return b.v;
+            }
+        }
+    """
+    program, graph, __ = optimize(source, "C.m")
+    stores = [s for s in graph.nodes_of(N.StoreStaticNode)]
+    assert len(stores) == 2
+    mappings = []
+    for store in stores:
+        state = store.state_after
+        virtuals = [v for v in state.locals_values
+                    if isinstance(v, N.VirtualObjectNode)]
+        assert virtuals
+        mappings.append(state.find_mapping(virtuals[0]))
+    # The two snapshots carry different entry values.
+    assert mappings[0].entries[0] is not mappings[1].entries[0]
+
+
+def test_nested_virtual_objects_in_state():
+    source = """
+        class Inner { int v; }
+        class Outer { Inner inner; }
+        class C {
+            static int sink;
+            static int m(int x) {
+                Inner i = new Inner();
+                i.v = x;
+                Outer o = new Outer();
+                o.inner = i;
+                sink = 1;
+                return o.inner.v;
+            }
+        }
+    """
+    program, graph, __ = optimize(source, "C.m")
+    stores = list(graph.nodes_of(N.StoreStaticNode))
+    state = stores[0].state_after
+    virtuals = [v for v in state.locals_values
+                if isinstance(v, N.VirtualObjectNode)]
+    # Both objects are represented; the Outer mapping's entry is the
+    # Inner's Id, which has its own mapping.
+    outer = next(v for v in virtuals
+                 if getattr(v, "class_name", "") == "Outer")
+    outer_mapping = state.find_mapping(outer)
+    inner_id = outer_mapping.entries[0]
+    assert isinstance(inner_id, N.VirtualObjectNode)
+    assert state.find_mapping(inner_id) is not None
+
+
+def test_lock_count_recorded_in_mapping():
+    source = """
+        class Box { int v; }
+        class C {
+            static int sink;
+            static int m(int x) {
+                Box b = new Box();
+                synchronized (b) {
+                    sink = x;
+                    b.v = x;
+                }
+                return b.v;
+            }
+        }
+    """
+    program, graph, __ = optimize(source, "C.m")
+    stores = list(graph.nodes_of(N.StoreStaticNode))
+    state = stores[0].state_after
+    virtuals = [v for v in list(state.locals_values)
+                + list(state.stack_values)
+                if isinstance(v, N.VirtualObjectNode)]
+    assert virtuals
+    mapping = state.find_mapping(virtuals[0])
+    assert mapping.lock_count == 1
+
+
+def test_states_without_tracked_objects_untouched():
+    source = """
+        class C {
+            static int sink;
+            static int m(int x) {
+                sink = x;
+                return x;
+            }
+        }
+    """
+    program, graph, __ = optimize(source, "C.m")
+    stores = list(graph.nodes_of(N.StoreStaticNode))
+    state = stores[0].state_after
+    assert not list(state.virtual_mappings)
+
+
+def test_shared_outer_state_duplicated_per_site():
+    """Outer states shared between sites must not get one site's
+    snapshot imposed on another (copy-on-write duplication)."""
+    source = """
+        class Box { int v; }
+        class C {
+            static int sink;
+            static void callee(int x) {
+                Box b = new Box();
+                b.v = x;
+                sink = x;
+                sink = x + b.v;
+            }
+            static int m(int x) {
+                callee(x);
+                return sink;
+            }
+        }
+    """
+    program, graph, __ = optimize(source, "C.m")
+    stores = list(graph.nodes_of(N.StoreStaticNode))
+    assert len(stores) == 2
+    states = [s.state_after for s in stores]
+    # Both inlined states chain out to C.m.
+    for state in states:
+        assert state.method.qualified_name == "C.callee"
+        assert state.outer is not None
+        assert state.outer.method.qualified_name == "C.m"
+    assert states[0] is not states[1]

@@ -1,0 +1,159 @@
+"""MergeProcessor unit tests over hand-constructed graphs and states —
+the Figure 6 cases exercised directly, without the frontend."""
+
+import pytest
+
+from repro.bytecode import JField, Program
+from repro.ir import Graph, nodes as N
+from repro.pea import Effects, MergeProcessor, ObjectState, PEAState
+from repro.pea.virtualization import PEATool
+
+
+@pytest.fixture
+def setup():
+    program = Program()
+    box = program.define_class("Box")
+    box.add_field(JField("v", "int"))
+
+    graph = Graph()
+    start = graph.add(N.StartNode())
+    graph.start = start
+    # Two branches feeding a merge.
+    if_node = graph.add(N.IfNode(condition=graph.constant(1)))
+    start.next = if_node
+    left = graph.add(N.BeginNode())
+    right = graph.add(N.BeginNode())
+    if_node.true_successor = left
+    if_node.false_successor = right
+    end_left = graph.add(N.EndNode())
+    end_right = graph.add(N.EndNode())
+    left.next = end_left
+    right.next = end_right
+    merge = graph.add(N.MergeNode())
+    merge.add_end(end_left)
+    merge.add_end(end_right)
+    ret = graph.add(N.ReturnNode())
+    merge.next = ret
+
+    effects = Effects(graph)
+    tool = PEATool(program, effects)
+    processor = MergeProcessor(tool)
+    return (program, graph, merge, end_left, end_right, effects, tool,
+            processor)
+
+
+def make_virtual(graph, tool, state, value):
+    virtual = N.VirtualInstanceNode("Box", ["v"])
+    tool.effects.track_created(virtual)
+    state.add_object(ObjectState(virtual, [graph.constant(value)]))
+    return virtual
+
+
+def test_identical_virtual_states_merge_without_effects(setup):
+    program, graph, merge, el, er, effects, tool, processor = setup
+    virtual = N.VirtualInstanceNode("Box", ["v"])
+    left_state, right_state = PEAState(), PEAState()
+    shared_value = graph.constant(5)
+    left_state.add_object(ObjectState(virtual, [shared_value]))
+    right_state.add_object(ObjectState(virtual, [shared_value]))
+    merged = processor.merge(merge, [left_state, right_state], [el, er])
+    assert virtual in merged.object_states
+    assert merged.get_state(virtual).is_virtual
+    assert merged.get_state(virtual).entries[0] is shared_value
+
+
+def test_differing_entries_create_phi(setup):
+    program, graph, merge, el, er, effects, tool, processor = setup
+    virtual = N.VirtualInstanceNode("Box", ["v"])
+    left_state, right_state = PEAState(), PEAState()
+    left_state.add_object(ObjectState(virtual, [graph.constant(1)]))
+    right_state.add_object(ObjectState(virtual, [graph.constant(2)]))
+    merged = processor.merge(merge, [left_state, right_state], [el, er])
+    entry = merged.get_state(virtual).entries[0]
+    assert isinstance(entry, N.PhiNode)
+    # Give the phi a consumer (in real pipelines a later load/state
+    # references it; unused phis are correctly swept).
+    ret = merge.next
+    ret.value = entry
+    effects.apply()
+    assert entry.graph is graph
+    assert entry.merge is merge
+    assert [v.value for v in entry.values] == [1, 2]
+
+
+def test_mixed_escape_materializes_virtual_side(setup):
+    program, graph, merge, el, er, effects, tool, processor = setup
+    virtual = N.VirtualInstanceNode("Box", ["v"])
+    left_state, right_state = PEAState(), PEAState()
+    left_state.add_object(ObjectState(virtual, [graph.constant(7)]))
+    escaped_value = graph.add(N.NewInstanceNode("Box"))
+    right_state.add_object(ObjectState(
+        virtual, None, materialized_value=escaped_value))
+    merged = processor.merge(merge, [left_state, right_state], [el, er])
+    assert not merged.get_state(virtual).is_virtual
+    assert tool.materializations == 1
+    effects.apply()
+    # A New + its initializing store landed before the left End.
+    assert isinstance(el.predecessor, N.StoreFieldNode)
+    assert isinstance(el.predecessor.predecessor, N.NewInstanceNode)
+    # Merged materialized value is a phi of the two real objects.
+    assert isinstance(merged.get_state(virtual).materialized_value,
+                      N.PhiNode)
+
+
+def test_lock_count_mismatch_materializes_everywhere(setup):
+    program, graph, merge, el, er, effects, tool, processor = setup
+    virtual = N.VirtualInstanceNode("Box", ["v"])
+    left_state, right_state = PEAState(), PEAState()
+    left_state.add_object(ObjectState(virtual, [graph.constant(1)],
+                                      lock_count=1))
+    right_state.add_object(ObjectState(virtual, [graph.constant(1)],
+                                       lock_count=0))
+    merged = processor.merge(merge, [left_state, right_state], [el, er])
+    assert not merged.get_state(virtual).is_virtual
+    assert tool.materializations == 2
+    effects.apply()
+    # The locked side re-enters its monitor during materialization.
+    enters = list(graph.nodes_of(N.MonitorEnterNode))
+    assert len(enters) == 1
+
+
+def test_id_missing_on_one_side_is_dropped(setup):
+    program, graph, merge, el, er, effects, tool, processor = setup
+    virtual = N.VirtualInstanceNode("Box", ["v"])
+    left_state, right_state = PEAState(), PEAState()
+    left_state.add_object(ObjectState(virtual, [graph.constant(1)]))
+    merged = processor.merge(merge, [left_state, right_state], [el, er])
+    assert virtual not in merged.object_states
+
+
+def test_alias_intersection(setup):
+    program, graph, merge, el, er, effects, tool, processor = setup
+    virtual = N.VirtualInstanceNode("Box", ["v"])
+    carrier = graph.constant("carrier")
+    other = graph.constant("other")
+    left_state, right_state = PEAState(), PEAState()
+    for state in (left_state, right_state):
+        state.add_object(ObjectState(virtual, [graph.constant(0)]))
+    left_state.add_alias(carrier, virtual)
+    right_state.add_alias(carrier, virtual)
+    left_state.add_alias(other, virtual)  # one side only: dropped
+    merged = processor.merge(merge, [left_state, right_state], [el, er])
+    assert merged.get_alias(carrier) is virtual
+    assert merged.get_alias(other) is None
+
+
+def test_existing_phi_aliasing_same_id(setup):
+    # Figure 6 (c): a builder phi whose inputs both alias the same Id.
+    program, graph, merge, el, er, effects, tool, processor = setup
+    virtual = N.VirtualInstanceNode("Box", ["v"])
+    new_node = graph.add(N.NewInstanceNode("Box"))
+    phi = graph.add(N.PhiNode(merge=merge))
+    phi.values.extend([new_node, new_node])
+    left_state, right_state = PEAState(), PEAState()
+    for state in (left_state, right_state):
+        state.add_object(ObjectState(virtual, [graph.constant(0)]))
+        state.add_alias(new_node, virtual)
+    merged = processor.merge(merge, [left_state, right_state], [el, er])
+    assert merged.get_alias(phi) is virtual
+    assert merged.get_state(virtual).is_virtual

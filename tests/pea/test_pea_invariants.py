@@ -1,0 +1,134 @@
+"""Graph-level invariants that must hold after Partial Escape Analysis,
+checked across a corpus of shapes (DESIGN.md "Key invariants" #6)."""
+
+import pytest
+
+from repro.ir import nodes as N
+
+from pea_helpers import optimize
+
+CORPUS = {
+    "straight": """
+        class Box { int v; }
+        class C { static int m(int a) {
+            Box b = new Box(); b.v = a; return b.v;
+        } }
+    """,
+    "partial": """
+        class Box { int v; }
+        class C {
+            static Box g;
+            static int m(int a) {
+                Box b = new Box(); b.v = a;
+                if (a > 0) { g = b; }
+                return a;
+            }
+        }
+    """,
+    "loop": """
+        class Box { int v; }
+        class C {
+            static Box g;
+            static int m(int n) {
+                int s = 0;
+                for (int i = 0; i < n; i = i + 1) {
+                    Box b = new Box(); b.v = i;
+                    s = s + b.v;
+                    if (i == 123456) { g = b; }
+                }
+                return s;
+            }
+        }
+    """,
+    "nested": """
+        class Inner { int v; }
+        class Outer { Inner inner; }
+        class C {
+            static Outer g;
+            static int m(int a) {
+                Inner i = new Inner(); i.v = a;
+                Outer o = new Outer(); o.inner = i;
+                if (a > 100) { g = o; }
+                return o.inner.v;
+            }
+        }
+    """,
+    "locked": """
+        class Box { int v; }
+        class C {
+            static int sink;
+            static int m(int a) {
+                Box b = new Box();
+                synchronized (b) { sink = a; b.v = a; }
+                return b.v;
+            }
+        }
+    """,
+}
+
+
+@pytest.fixture(params=sorted(CORPUS))
+def optimized(request):
+    return optimize(CORPUS[request.param], "C.m")
+
+
+def test_virtual_objects_only_in_state_contexts(optimized):
+    """VirtualObjectNodes may only be referenced by frame states and
+    escape-object snapshots — never by executable nodes."""
+    __, graph, __ = optimized
+    for node in graph.nodes_of(N.VirtualObjectNode):
+        for user in node.usages:
+            assert isinstance(user, (N.FrameStateNode,
+                                     N.EscapeObjectStateNode)), (
+                node, user)
+
+
+def test_escape_states_hang_off_frame_states(optimized):
+    __, graph, __ = optimized
+    for node in graph.nodes_of(N.EscapeObjectStateNode):
+        assert node.virtual_object is not None
+        assert len(node.entries) == node.virtual_object.entry_count
+        for user in node.usages:
+            assert isinstance(user, N.FrameStateNode)
+
+
+def test_every_mapping_covers_its_nested_virtuals(optimized):
+    """If a frame state references a virtual object, its chain must also
+    carry mappings for every virtual object reachable from it."""
+    __, graph, __ = optimized
+    for state in graph.nodes_of(N.FrameStateNode):
+        referenced = [v for v in state.locals_values
+                      if isinstance(v, N.VirtualObjectNode)]
+        referenced += [v for v in state.stack_values
+                       if isinstance(v, N.VirtualObjectNode)]
+        worklist = list(referenced)
+        seen = set()
+        while worklist:
+            virtual = worklist.pop()
+            if virtual in seen:
+                continue
+            seen.add(virtual)
+            mapping = state.find_mapping(virtual)
+            assert mapping is not None, (state, virtual)
+            for entry in mapping.entries:
+                if isinstance(entry, N.VirtualObjectNode):
+                    worklist.append(entry)
+
+
+def test_no_dangling_guard_states(optimized):
+    __, graph, __ = optimized
+    for guard in graph.nodes_of(N.FixedGuardNode):
+        assert guard.state is not None
+        assert guard.state.graph is graph
+    for deopt in graph.nodes_of(N.DeoptimizeNode):
+        assert deopt.state is not None
+
+
+def test_monitor_nodes_reference_real_objects(optimized):
+    """Any surviving monitor node's object must be executable (not a
+    virtual Id)."""
+    __, graph, __ = optimized
+    for node in list(graph.nodes_of(N.MonitorEnterNode)) + \
+            list(graph.nodes_of(N.MonitorExitNode)):
+        assert not isinstance(node.object, N.VirtualObjectNode)
+        assert node.object is not None

@@ -1,0 +1,178 @@
+"""Processor-level behaviors not covered by the end-to-end tests."""
+
+import pytest
+
+from repro.ir import nodes as N
+
+from pea_helpers import execute, optimize, reference
+
+
+def count(graph, node_type):
+    return len(list(graph.nodes_of(node_type)))
+
+
+def test_loop_convergence_is_bounded():
+    """A pathological nest must converge well under the retry cap."""
+    source = """
+        class Box { int v; }
+        class C {
+            static Box g;
+            static int m(int n) {
+                Box a = new Box();
+                Box b = new Box();
+                int s = 0;
+                for (int i = 0; i < n; i = i + 1) {
+                    for (int j = 0; j < 3; j = j + 1) {
+                        a.v = a.v + b.v + j;
+                        if (i + j == 1000000) { g = a; }
+                        Box t = a;
+                        a = b;
+                        b = t;
+                    }
+                    s = s + a.v;
+                }
+                return s;
+            }
+        }
+    """
+    program, graph, __ = optimize(source, "C.m")
+    got = execute(program, graph, [6])[0]
+    want, __ = reference(source, "C.m", [6])
+    assert got == want
+
+
+def test_state_copies_isolate_branches():
+    """Writes on one branch must not leak into the sibling's state."""
+    source = """
+        class Box { int v; }
+        class C { static int m(int k) {
+            Box b = new Box();
+            b.v = 1;
+            if (k > 0) { b.v = 100; } else { }
+            // On the else path b.v must still be 1.
+            return b.v;
+        } }
+    """
+    program, graph, __ = optimize(source, "C.m")
+    assert execute(program, graph, [5])[0] == 100
+    assert execute(program, graph, [-5])[0] == 1
+    assert count(graph, N.NewInstanceNode) == 0
+
+
+def test_if_both_successors_same_merge():
+    source = """
+        class Box { int v; }
+        class C { static int m(int k) {
+            Box b = new Box();
+            if (k > 0) { } else { }
+            b.v = k;
+            return b.v;
+        } }
+    """
+    program, graph, __ = optimize(source, "C.m")
+    assert count(graph, N.NewInstanceNode) == 0
+    assert execute(program, graph, [9])[0] == 9
+
+
+def test_deeply_nested_branching_states():
+    source = """
+        class Box { int v; }
+        class C {
+            static Box g;
+            static int m(int k) {
+                Box b = new Box();
+                if (k > 8) {
+                    if (k > 16) {
+                        if (k > 32) { g = b; b.v = 3; }
+                        else { b.v = 2; }
+                    } else { b.v = 1; }
+                } else { b.v = 0; }
+                return b.v;
+            }
+        }
+    """
+    program, graph, __ = optimize(source, "C.m")
+    for k, expected in ((40, 3), (20, 2), (10, 1), (1, 0)):
+        assert execute(program, graph, [k])[0] == expected, k
+    ref_allocs = reference(source, "C.m", [1])[1].allocations
+    __, heap, __ = execute(program, graph, [1])
+    assert heap.allocations <= ref_allocs
+
+
+def test_escape_through_array_of_objects():
+    source = """
+        class Box { int v; }
+        class C {
+            static Object[] keep;
+            static int m(int k) {
+                Box b = new Box();
+                b.v = k;
+                int result = b.v;       // last read before the branch
+                Object[] slots = new Object[2];
+                if (k > 0) {
+                    slots[0] = b;
+                    keep = slots;       // the array escapes with b in it
+                }
+                return result;
+            }
+        }
+    """
+    program, graph, __ = optimize(source, "C.m")
+    assert execute(program, graph, [7])[0] == 7
+    ref7 = reference(source, "C.m", [7])
+    assert ref7[0] == 7
+    # Escaping path really stores the object.
+    program2, graph2, __ = optimize(source, "C.m")
+    execute(program2, graph2, [7])
+    kept = program2.get_static("C", "keep")
+    assert kept is not None and kept.elements[0].fields["v"] == 7
+    # Clean path allocates nothing.
+    program3, graph3, __ = optimize(source, "C.m")
+    __, heap, __ = execute(program3, graph3, [-7])
+    assert heap.allocations == 0
+
+
+def test_invoke_state_before_rewritten_for_tracked_receiver():
+    """state_before of a virtual invoke referencing a tracked (escaped)
+    object must be rewritten to the materialized value."""
+    source = """
+        class A { int f() { return 1; } }
+        class B extends A { int f() { return 2; } }
+        class C {
+            static A g;
+            static int m(int k) {
+                A a = new A();
+                g = a;                 // escapes: materialized
+                return a.f();          // polymorphic per CHA: stays an
+                                       // invoke with a state_before
+            }
+        }
+    """
+    program, graph, __ = optimize(source, "C.m")
+    invokes = list(graph.nodes_of(N.InvokeNode))
+    assert len(invokes) == 1
+    state = invokes[0].state_before
+    assert state is not None
+    values = list(state.stack_values) + list(state.locals_values)
+    # No reference to a deleted New: the materialized node is live.
+    for value in values:
+        if value is not None:
+            assert value.graph is graph
+    assert execute(program, graph, [0])[0] == 1
+
+
+def test_merge_of_three_plus_predecessors():
+    source = """
+        class Box { int v; }
+        class C { static int m(int k) {
+            Box b = new Box();
+            if (k == 0) { b.v = 10; }
+            else { if (k == 1) { b.v = 20; } else {
+                if (k == 2) { b.v = 30; } else { b.v = 40; } } }
+            return b.v + k;
+        } }
+    """
+    program, graph, __ = optimize(source, "C.m")
+    assert count(graph, N.NewInstanceNode) == 0
+    for k, expected in ((0, 10), (1, 21), (2, 32), (3, 43)):
+        assert execute(program, graph, [k])[0] == expected

@@ -1,0 +1,192 @@
+"""PEAState / ObjectState unit behavior (paper Listing 7)."""
+
+import pytest
+
+from repro.ir import Graph, nodes as N
+from repro.pea import Effects, ObjectState, PEAState
+from repro.pea.materialize import ensure_materialized
+from repro.bytecode import JField, Program
+
+
+def make_vo(graph, class_name="Box", fields=("v",)):
+    vo = N.VirtualInstanceNode(class_name, list(fields))
+    return vo
+
+
+def test_object_state_virtual_to_escaped():
+    graph = Graph()
+    vo = make_vo(graph)
+    state = ObjectState(vo, [graph.constant(0)])
+    assert state.is_virtual
+    materialized = graph.add(N.NewInstanceNode("Box"))
+    state.escape(materialized)
+    assert not state.is_virtual
+    assert state.materialized_value is materialized
+    assert state.entries is None
+
+
+def test_state_copy_is_deep_for_object_states():
+    graph = Graph()
+    vo = make_vo(graph)
+    state = PEAState()
+    state.add_object(ObjectState(vo, [graph.constant(0)]))
+    copy_state = state.copy()
+    copy_state.get_state(vo).entries[0] = graph.constant(9)
+    assert state.get_state(vo).entries[0].value == 0
+
+
+def test_aliases_resolution():
+    graph = Graph()
+    vo = make_vo(graph)
+    state = PEAState()
+    state.add_object(ObjectState(vo, [graph.constant(0)]))
+    load = graph.add(N.LoadStaticNode.__mro__[0].__new__(
+        N.LoadStaticNode)) if False else graph.constant(7)
+    state.add_alias(load, vo)
+    assert state.get_alias(load) is vo
+    assert state.get_alias(vo) is vo  # VirtualObjectNode maps to itself
+    assert state.get_alias(graph.constant(5)) is None
+
+
+def test_untracked_virtual_object_node_not_aliased():
+    graph = Graph()
+    vo = make_vo(graph)
+    state = PEAState()
+    # vo not registered in object_states -> unknown
+    assert state.get_alias(vo) is None
+
+
+def test_equivalence():
+    graph = Graph()
+    vo = make_vo(graph)
+    a = PEAState()
+    a.add_object(ObjectState(vo, [graph.constant(0)], lock_count=1))
+    b = a.copy()
+    assert a.equivalent(b)
+    b.get_state(vo).lock_count = 2
+    assert not a.equivalent(b)
+    c = a.copy()
+    c.get_state(vo).entries[0] = graph.constant(1)
+    assert not a.equivalent(c)
+
+
+class TestMaterialize:
+    def setup_method(self):
+        self.program = Program()
+        box = self.program.define_class("Box")
+        box.add_field(JField("v", "int"))
+        box.add_field(JField("o", "Object"))
+
+    def build_graph_skeleton(self):
+        graph = Graph()
+        start = graph.add(N.StartNode())
+        graph.start = start
+        ret = graph.add(N.ReturnNode())
+        start.next = ret
+        return graph, ret
+
+    def test_materialization_inserts_new_and_stores(self):
+        graph, anchor = self.build_graph_skeleton()
+        effects = Effects(graph)
+        vo = N.VirtualInstanceNode("Box", ["v", "o"])
+        state = PEAState()
+        state.add_object(ObjectState(
+            vo, [graph.constant(42), graph.null]))
+        value = ensure_materialized(self.program, state, vo, anchor,
+                                    effects)
+        assert isinstance(value, N.NewInstanceNode)
+        assert not state.get_state(vo).is_virtual
+        effects.apply()
+        # New + one store (null default store skipped).
+        news = list(graph.nodes_of(N.NewInstanceNode))
+        stores = list(graph.nodes_of(N.StoreFieldNode))
+        assert len(news) == 1 and len(stores) == 1
+        assert stores[0].value.value == 42
+
+    def test_default_values_skip_stores(self):
+        graph, anchor = self.build_graph_skeleton()
+        effects = Effects(graph)
+        vo = N.VirtualInstanceNode("Box", ["v", "o"])
+        state = PEAState()
+        state.add_object(ObjectState(vo, [graph.constant(0), graph.null]))
+        ensure_materialized(self.program, state, vo, anchor, effects)
+        effects.apply()
+        assert not list(graph.nodes_of(N.StoreFieldNode))
+
+    def test_lock_count_emits_monitor_enters(self):
+        graph, anchor = self.build_graph_skeleton()
+        effects = Effects(graph)
+        vo = N.VirtualInstanceNode("Box", ["v", "o"])
+        state = PEAState()
+        state.add_object(ObjectState(
+            vo, [graph.constant(0), graph.null], lock_count=2))
+        ensure_materialized(self.program, state, vo, anchor, effects)
+        effects.apply()
+        enters = list(graph.nodes_of(N.MonitorEnterNode))
+        assert len(enters) == 2
+
+    def test_cyclic_virtual_objects_terminate(self):
+        graph, anchor = self.build_graph_skeleton()
+        effects = Effects(graph)
+        vo_a = N.VirtualInstanceNode("Box", ["v", "o"])
+        vo_b = N.VirtualInstanceNode("Box", ["v", "o"])
+        state = PEAState()
+        state.add_object(ObjectState(vo_a, [graph.constant(1), vo_b]))
+        state.add_object(ObjectState(vo_b, [graph.constant(2), vo_a]))
+        value = ensure_materialized(self.program, state, vo_a, anchor,
+                                    effects)
+        effects.apply()
+        news = list(graph.nodes_of(N.NewInstanceNode))
+        assert len(news) == 2
+        stores = list(graph.nodes_of(N.StoreFieldNode))
+        # v=1, v=2, and two cross-links.
+        assert len(stores) == 4
+
+    def test_idempotent_when_already_escaped(self):
+        graph, anchor = self.build_graph_skeleton()
+        effects = Effects(graph)
+        vo = N.VirtualInstanceNode("Box", ["v", "o"])
+        state = PEAState()
+        state.add_object(ObjectState(vo, [graph.constant(5), graph.null]))
+        first = ensure_materialized(self.program, state, vo, anchor,
+                                    effects)
+        second = ensure_materialized(self.program, state, vo, anchor,
+                                     effects)
+        assert first is second
+
+
+class TestEffects:
+    def test_rollback_discards_and_disconnects(self):
+        graph = Graph()
+        start = graph.add(N.StartNode())
+        graph.start = start
+        ret = graph.add(N.ReturnNode())
+        start.next = ret
+        live = graph.constant(1)
+        effects = Effects(graph)
+        mark = effects.mark()
+        detached = N.NegNode(value=live)
+        effects.track_created(detached)
+        effects.replace_at_usages(live, graph.constant(2))
+        assert live.usage_count() == 1  # the detached NegNode
+        effects.rollback(mark)
+        assert live.usage_count() == 0
+        assert len(effects) == 0
+
+    def test_apply_runs_in_order_then_deletes(self):
+        graph = Graph()
+        start = graph.add(N.StartNode())
+        graph.start = start
+        from repro.bytecode import FieldRef
+        load = graph.add(N.LoadStaticNode(FieldRef("C", "f")))
+        ret = graph.add(N.ReturnNode(value=load))
+        start.next = load
+        load.next = ret
+        effects = Effects(graph)
+        replacement = graph.constant(9)
+        effects.replace_at_usages(load, replacement)
+        effects.delete_fixed(load)
+        effects.apply()
+        assert ret.value is replacement
+        assert load.graph is None
+        assert start.next is ret

@@ -1,0 +1,368 @@
+"""Figure 4 node patterns: effects of operations on virtual objects."""
+
+import pytest
+
+from repro.ir import nodes as N
+
+from pea_helpers import execute, optimize, reference
+
+
+def count(graph, node_type):
+    return len(list(graph.nodes_of(node_type)))
+
+
+class TestFig4aAllocation:
+    def test_non_escaping_allocation_removed(self):
+        source = """
+            class Box { int v; }
+            class C { static int m(int a) {
+                Box b = new Box();
+                b.v = a;
+                return b.v;
+            } }
+        """
+        program, graph, result = optimize(source, "C.m")
+        assert count(graph, N.NewInstanceNode) == 0
+        assert result.virtualized_allocations >= 1
+        assert execute(program, graph, [42])[0] == 42
+
+    def test_allocation_statistics(self):
+        source = """
+            class Box { int v; }
+            class C { static int m(int a) {
+                Box b = new Box();
+                b.v = a;
+                return b.v;
+            } }
+        """
+        program, graph, __ = optimize(source, "C.m")
+        __, heap, __ = execute(program, graph, [42])
+        assert heap.allocations == 0
+        assert heap.allocated_bytes == 0
+
+
+class TestFig4bStoresAndLoads:
+    def test_store_then_load_scalar_replaced(self):
+        source = """
+            class Pair { int a; int b; }
+            class C { static int m(int x, int y) {
+                Pair p = new Pair();
+                p.a = x;
+                p.b = y;
+                p.a = p.a + p.b;
+                return p.a * 10 + p.b;
+            } }
+        """
+        program, graph, __ = optimize(source, "C.m")
+        assert count(graph, N.NewInstanceNode) == 0
+        assert count(graph, N.LoadFieldNode) == 0
+        assert count(graph, N.StoreFieldNode) == 0
+        assert execute(program, graph, [3, 4])[0] == 74
+
+    def test_default_field_values_known(self):
+        source = """
+            class Box { int v; Object o; }
+            class C { static int m() {
+                Box b = new Box();
+                if (b.o == null) { return b.v + 1; }
+                return -1;
+            } }
+        """
+        program, graph, __ = optimize(source, "C.m")
+        # Everything folds: b.o is null, b.v is 0.
+        rets = list(graph.nodes_of(N.ReturnNode))
+        assert len(rets) == 1
+        assert isinstance(rets[0].value, N.ConstantNode)
+        assert rets[0].value.value == 1
+
+
+class TestFig4cdMonitors:
+    def test_monitor_pair_elided_on_virtual_object(self):
+        source = """
+            class Box { int v; }
+            class C { static int m(int a) {
+                Box b = new Box();
+                synchronized (b) { b.v = a; }
+                return b.v;
+            } }
+        """
+        program, graph, result = optimize(source, "C.m")
+        assert count(graph, N.MonitorEnterNode) == 0
+        assert count(graph, N.MonitorExitNode) == 0
+        assert result.removed_monitor_pairs == \
+            pytest.approx(result.removed_monitor_pairs)
+        assert result.removed_monitor_pairs >= 1
+        __, heap, __ = execute(program, graph, [5])
+        assert heap.monitor_enters == 0
+
+    def test_nested_monitors_lock_count(self):
+        source = """
+            class Box { int v; }
+            class C { static int m(int a) {
+                Box b = new Box();
+                synchronized (b) {
+                    synchronized (b) { b.v = a; }
+                }
+                return b.v;
+            } }
+        """
+        program, graph, __ = optimize(source, "C.m")
+        assert count(graph, N.MonitorEnterNode) == 0
+        assert execute(program, graph, [5])[0] == 5
+
+
+class TestFig4efVirtualInVirtual:
+    def test_virtual_object_stored_into_virtual_object(self):
+        source = """
+            class Inner { int v; }
+            class Outer { Inner inner; }
+            class C { static int m(int a) {
+                Inner i = new Inner();
+                i.v = a;
+                Outer o = new Outer();
+                o.inner = i;
+                return o.inner.v;
+            } }
+        """
+        program, graph, __ = optimize(source, "C.m")
+        assert count(graph, N.NewInstanceNode) == 0
+        assert execute(program, graph, [9])[0] == 9
+
+    def test_deep_nesting(self):
+        source = """
+            class Node { Node next; int v; }
+            class C { static int m(int a) {
+                Node n1 = new Node();
+                Node n2 = new Node();
+                Node n3 = new Node();
+                n1.next = n2;
+                n2.next = n3;
+                n3.v = a;
+                return n1.next.next.v;
+            } }
+        """
+        program, graph, __ = optimize(source, "C.m")
+        assert count(graph, N.NewInstanceNode) == 0
+        assert execute(program, graph, [13])[0] == 13
+
+
+class TestVirtualArrays:
+    def test_constant_length_array_virtualized(self):
+        source = """
+            class C { static int m(int a) {
+                int[] xs = new int[3];
+                xs[0] = a;
+                xs[1] = a * 2;
+                xs[2] = xs[0] + xs[1];
+                return xs[2] + xs.length;
+            } }
+        """
+        program, graph, __ = optimize(source, "C.m")
+        assert count(graph, N.NewArrayNode) == 0
+        assert execute(program, graph, [5])[0] == 5 + 10 + 3
+
+    def test_dynamic_length_array_not_virtualized(self):
+        source = """
+            class C { static int m(int n) {
+                int[] xs = new int[n];
+                return xs.length;
+            } }
+        """
+        program, graph, __ = optimize(source, "C.m")
+        assert count(graph, N.NewArrayNode) == 1
+
+    def test_huge_array_not_virtualized(self):
+        source = """
+            class C { static int m() {
+                int[] xs = new int[1000];
+                return xs.length;
+            } }
+        """
+        program, graph, __ = optimize(source, "C.m")
+        assert count(graph, N.NewArrayNode) == 1
+
+    def test_dynamic_index_forces_materialization(self):
+        source = """
+            class C { static int m(int i) {
+                int[] xs = new int[4];
+                xs[i] = 7;
+                return xs[i];
+            } }
+        """
+        program, graph, __ = optimize(source, "C.m")
+        assert count(graph, N.NewArrayNode) == 1
+        assert execute(program, graph, [2])[0] == 7
+
+    def test_ref_array_of_virtuals(self):
+        source = """
+            class Box { int v; }
+            class C { static int m(int a) {
+                Box[] boxes = new Box[2];
+                Box b = new Box();
+                b.v = a;
+                boxes[0] = b;
+                return boxes[0].v;
+            } }
+        """
+        program, graph, __ = optimize(source, "C.m")
+        assert count(graph, N.NewArrayNode) == 0
+        assert count(graph, N.NewInstanceNode) == 0
+        assert execute(program, graph, [21])[0] == 21
+
+
+class TestCompileTimeFolds:
+    def test_ref_equality_virtual_vs_other(self):
+        source = """
+            class Box { }
+            class C { static boolean m(Object o) {
+                Box b = new Box();
+                return b == o;
+            } }
+        """
+        program, graph, __ = optimize(source, "C.m")
+        # Folded to false; no allocation remains.
+        assert count(graph, N.NewInstanceNode) == 0
+        assert execute(program, graph, [None])[0] == 0
+
+    def test_ref_equality_same_virtual(self):
+        source = """
+            class Box { }
+            class C { static boolean m() {
+                Box a = new Box();
+                Box b = a;
+                return a == b;
+            } }
+        """
+        program, graph, __ = optimize(source, "C.m")
+        assert execute(program, graph, [])[0] == 1
+
+    def test_ref_equality_two_virtuals(self):
+        source = """
+            class Box { }
+            class C { static boolean m() {
+                return new Box() == new Box();
+            } }
+        """
+        program, graph, __ = optimize(source, "C.m")
+        assert count(graph, N.NewInstanceNode) == 0
+        assert execute(program, graph, [])[0] == 0
+
+    def test_instanceof_on_virtual_folds(self):
+        source = """
+            class Animal { }
+            class Dog extends Animal { }
+            class C { static int m() {
+                Animal a = new Dog();
+                int r = 0;
+                if (a instanceof Dog) { r = r + 1; }
+                if (a instanceof Animal) { r = r + 2; }
+                return r;
+            } }
+        """
+        program, graph, __ = optimize(source, "C.m")
+        assert count(graph, N.NewInstanceNode) == 0
+        assert count(graph, N.InstanceOfNode) == 0
+        rets = list(graph.nodes_of(N.ReturnNode))
+        assert isinstance(rets[0].value, N.ConstantNode)
+        assert rets[0].value.value == 3
+
+    def test_null_check_on_virtual_folds(self):
+        source = """
+            class Box { }
+            class C { static boolean m() {
+                Box b = new Box();
+                return b == null;
+            } }
+        """
+        program, graph, __ = optimize(source, "C.m")
+        assert execute(program, graph, [])[0] == 0
+
+
+class TestEscapes:
+    def test_return_escapes(self):
+        source = """
+            class Box { int v; }
+            class C { static Box m(int a) {
+                Box b = new Box();
+                b.v = a;
+                return b;
+            } }
+        """
+        program, graph, __ = optimize(source, "C.m")
+        assert count(graph, N.NewInstanceNode) == 1
+        result, heap, __ = execute(program, graph, [4])
+        assert result.fields["v"] == 4
+        assert heap.allocations == 1
+
+    def test_static_store_escapes(self):
+        source = """
+            class Box { int v; }
+            class C {
+                static Box global;
+                static int m(int a) {
+                    Box b = new Box();
+                    b.v = a;
+                    global = b;
+                    return b.v;
+                }
+            }
+        """
+        program, graph, __ = optimize(source, "C.m")
+        assert count(graph, N.NewInstanceNode) == 1
+        assert execute(program, graph, [5])[0] == 5
+
+    def test_call_argument_escapes(self):
+        source = """
+            class Box { int v; }
+            class C {
+                static native int peek(Box b);
+                static int m(int a) {
+                    Box b = new Box();
+                    b.v = a;
+                    return peek(b);
+                }
+            }
+        """
+        natives = {"C.peek": lambda interp, args: args[0].fields["v"]}
+        program, graph, __ = optimize(source, "C.m", natives=natives)
+        assert count(graph, N.NewInstanceNode) == 1
+        assert execute(program, graph, [11])[0] == 11
+
+    def test_store_into_escaped_object(self):
+        # Figure 5: the store stays, using the materialized value.
+        source = """
+            class Box { int v; Object o; }
+            class C {
+                static Box global;
+                static int m(int a) {
+                    Box b = new Box();
+                    global = b;
+                    b.v = a;
+                    return b.v;
+                }
+            }
+        """
+        program, graph, __ = optimize(source, "C.m")
+        assert count(graph, N.NewInstanceNode) == 1
+        # After escape, field contents are unknown: load stays.
+        assert count(graph, N.LoadFieldNode) == 1
+        assert count(graph, N.StoreFieldNode) == 1
+        assert execute(program, graph, [3])[0] == 3
+
+    def test_virtual_value_stored_into_escaped_object_escapes(self):
+        source = """
+            class Box { Object o; }
+            class C {
+                static Box global;
+                static boolean m() {
+                    Box outer = new Box();
+                    global = outer;
+                    Box inner = new Box();
+                    outer.o = inner;
+                    return global.o == inner;
+                }
+            }
+        """
+        program, graph, __ = optimize(source, "C.m")
+        assert count(graph, N.NewInstanceNode) == 2
+        assert execute(program, graph, [])[0] == 1

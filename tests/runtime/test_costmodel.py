@@ -1,0 +1,70 @@
+"""Cost model properties."""
+
+import pytest
+
+from repro.ir import Graph, nodes as N
+from repro.runtime import CostModel, ExecutionStats
+
+
+@pytest.fixture
+def model():
+    return CostModel()
+
+
+def test_icache_multiplier_flat_below_capacity(model):
+    assert model.icache_multiplier(0) == 1.0
+    assert model.icache_multiplier(model.icache_capacity) == 1.0
+
+
+def test_icache_multiplier_grows_linearly(model):
+    capacity = model.icache_capacity
+    one_over = model.icache_multiplier(capacity + capacity // 2)
+    two_over = model.icache_multiplier(capacity * 2)
+    assert 1.0 < one_over < two_over
+    assert two_over == pytest.approx(1.0 + model.icache_factor)
+
+
+def test_allocation_dominates_arithmetic(model):
+    graph = Graph()
+    new = graph.add(N.NewInstanceNode("X"))
+    add = graph.add(N.BinaryArithmeticNode(
+        "add", x=graph.constant(1), y=graph.constant(2)))
+    assert model.node_cost(new) > model.node_cost(add)
+
+
+def test_monitor_and_invoke_costs(model):
+    graph = Graph()
+    enter = graph.add(N.MonitorEnterNode())
+    from repro.bytecode import MethodRef
+    invoke = graph.add(N.InvokeNode("static", MethodRef("C", "m", 0),
+                                    "void", 0))
+    assert model.node_cost(enter) == model.monitor_op
+    assert model.node_cost(invoke) == model.invoke_overhead
+
+
+def test_deopt_is_expensive(model):
+    graph = Graph()
+    deopt = graph.add(N.DeoptimizeNode("test"))
+    assert model.node_cost(deopt) >= 100
+
+
+def test_control_nodes_are_free(model):
+    graph = Graph()
+    begin = graph.add(N.BeginNode())
+    merge = graph.add(N.MergeNode())
+    assert model.node_cost(begin) == 0
+    assert model.node_cost(merge) == 0
+
+
+def test_byte_cost_proportional(model):
+    assert model.allocation_bytes_cost(100) == \
+        pytest.approx(100 * model.alloc_per_byte)
+
+
+def test_execution_stats_delta():
+    stats = ExecutionStats(cycles=100, node_executions=10, deopts=1)
+    later = ExecutionStats(cycles=250, node_executions=30, deopts=1)
+    delta = later.delta(stats)
+    assert delta.cycles == 150
+    assert delta.node_executions == 20
+    assert delta.deopts == 0

@@ -1,0 +1,90 @@
+"""IR-level control-flow graph: blocks, RPO, loop membership."""
+
+import pytest
+
+from repro.frontend import build_graph
+from repro.ir import nodes as N
+from repro.lang import compile_source
+from repro.scheduler import ControlFlowGraph
+
+
+def cfg_for(source, qualified="C.m"):
+    program = compile_source(source)
+    graph = build_graph(program, program.method(qualified))
+    return graph, ControlFlowGraph(graph)
+
+
+def test_straight_line_single_block():
+    graph, cfg = cfg_for(
+        "class C { static int m(int a) { return a * 2 + 1; } }")
+    assert len(cfg.blocks) == 1
+    assert isinstance(cfg.blocks[0].first, N.StartNode)
+    assert isinstance(cfg.blocks[0].last, N.ReturnNode)
+
+
+def test_diamond_blocks_and_rpo():
+    graph, cfg = cfg_for("""
+        class C { static int m(int a) {
+            int r = 0;
+            if (a > 0) { r = 1; } else { r = 2; }
+            return r;
+        } }
+    """)
+    merges = [b for b in cfg.blocks if isinstance(b.first, N.MergeNode)]
+    assert len(merges) == 1
+    order = {block: index for index, block in enumerate(cfg.rpo)}
+    for block in cfg.blocks:
+        for succ in block.successors:
+            if isinstance(block.last, N.LoopEndNode):
+                continue
+            assert order[block] < order[succ], (block, succ)
+
+
+def test_every_fixed_node_assigned_to_one_block():
+    graph, cfg = cfg_for("""
+        class C { static int m(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i = i + 1) {
+                if (i % 2 == 0) { s = s + i; }
+            }
+            return s;
+        } }
+    """)
+    fixed = [n for n in graph.nodes() if n.is_fixed]
+    for node in fixed:
+        assert cfg.block_containing(node) is not None
+    total = sum(len(b.nodes) for b in cfg.blocks)
+    assert total == len(fixed)
+
+
+def test_loop_membership():
+    graph, cfg = cfg_for("""
+        class C { static int m(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i = i + 1) {
+                for (int j = 0; j < i; j = j + 1) { s = s + 1; }
+            }
+            return s;
+        } }
+    """)
+    headers = [b for b in cfg.blocks if b.is_loop_header]
+    assert len(headers) == 2
+    sizes = sorted(len(cfg.loop_members(h)) for h in headers)
+    assert sizes[0] < sizes[1]  # inner loop strictly inside outer
+    inner = min(headers, key=lambda h: len(cfg.loop_members(h)))
+    outer = max(headers, key=lambda h: len(cfg.loop_members(h)))
+    assert cfg.loop_members(inner) < cfg.loop_members(outer)
+
+
+def test_blocks_end_at_control_transfers():
+    graph, cfg = cfg_for("""
+        class C { static int m(int a) {
+            if (a > 0) { return 1; }
+            return 0;
+        } }
+    """)
+    for block in cfg.blocks:
+        for node in block.nodes[:-1]:
+            assert not isinstance(
+                node, (N.IfNode, N.EndNode, N.LoopEndNode, N.ReturnNode,
+                       N.DeoptimizeNode))

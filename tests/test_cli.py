@@ -1,0 +1,93 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+class Pair {
+    int a; int b;
+    Pair(int a, int b) { this.a = a; this.b = b; }
+}
+class Main {
+    static int main(int n) {
+        int acc = 0;
+        for (int i = 0; i < n; i = i + 1) {
+            Pair p = new Pair(i, i * 2);
+            acc = acc + p.a + p.b;
+        }
+        return acc;
+    }
+}
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.mj"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def test_run_interpreted(program_file, capsys):
+    assert main(["run", program_file, "--entry", "Main.main",
+                 "--args", "10", "--config", "interp"]) == 0
+    out = capsys.readouterr().out
+    assert "result: 135" in out
+    assert "allocations=10" in out
+
+
+def test_run_with_pea(program_file, capsys):
+    assert main(["run", program_file, "--entry", "Main.main",
+                 "--args", "10", "--config", "pea"]) == 0
+    out = capsys.readouterr().out
+    assert "result: 135" in out
+    assert "allocations=0" in out
+    assert "cycles=" in out
+
+
+def test_run_configs_agree(program_file, capsys):
+    results = set()
+    for config in ("interp", "no-ea", "equi", "pea"):
+        main(["run", program_file, "--entry", "Main.main",
+              "--args", "25", "--config", config])
+        out = capsys.readouterr().out
+        results.add(out.splitlines()[0])
+    assert len(results) == 1
+
+
+def test_compile_reports_ea_stats(program_file, capsys):
+    assert main(["compile", program_file, "--method", "Main.main"]) == 0
+    out = capsys.readouterr().out
+    assert "IR nodes" in out
+    assert "virtualized=1" in out
+
+
+def test_compile_dump_ir(program_file, capsys):
+    assert main(["compile", program_file, "--method", "Main.main",
+                 "--dump-ir"]) == 0
+    out = capsys.readouterr().out
+    assert "LoopBegin" in out
+
+
+def test_compile_dot_output(program_file, tmp_path, capsys):
+    dot_path = str(tmp_path / "graph.dot")
+    assert main(["compile", program_file, "--method", "Main.main",
+                 "--dot", dot_path]) == 0
+    content = open(dot_path).read()
+    assert content.startswith("digraph")
+
+
+def test_disasm(program_file, capsys):
+    assert main(["disasm", program_file]) == 0
+    out = capsys.readouterr().out
+    assert "class Pair" in out
+    assert "invokespecial" in out
+
+
+def test_compile_timings(program_file, capsys):
+    assert main(["compile", program_file, "--method", "Main.main",
+                 "--timings"]) == 0
+    out = capsys.readouterr().out
+    assert "partial-escape-analysis" in out
+    assert "ms" in out
