@@ -15,12 +15,14 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import cProfile
 import sys
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..jit import CompilerConfig
 from .harness import Measurement, run_workload
+from .profiling import print_profile, profiled
 from .reporting import pct, render_table
 from .workloads import SUITES, Workload
 
@@ -51,15 +53,30 @@ class ThreeWay:
             self.pea.checksum, f"{self.workload.name}: checksum mismatch"
 
 
-def run_three_way(workload: Workload) -> ThreeWay:
+def run_three_way(workload: Workload, backend: str = "plan",
+                  histogram: Optional[Dict[str, int]] = None
+                  ) -> ThreeWay:
+    collect = histogram is not None
     result = ThreeWay(
         workload,
-        run_workload(workload, CompilerConfig.no_ea()),
-        run_workload(workload, CompilerConfig.equi_escape()),
-        run_workload(workload, CompilerConfig.partial_escape()),
+        run_workload(workload, CompilerConfig.no_ea(
+            execution_backend=backend, collect_node_histogram=collect),
+            histogram),
+        run_workload(workload, CompilerConfig.equi_escape(
+            execution_backend=backend, collect_node_histogram=collect),
+            histogram),
+        run_workload(workload, CompilerConfig.partial_escape(
+            execution_backend=backend, collect_node_histogram=collect),
+            histogram),
     )
     result.verify()
     return result
+
+
+def _three_way_worker(item) -> ThreeWay:
+    """Module-level worker so ProcessPoolExecutor can pickle it."""
+    workload, backend = item
+    return run_three_way(workload, backend)
 
 
 #: The paper's Section 6.2 numbers: suite -> (server EA %, Graal PEA %).
@@ -70,8 +87,13 @@ PAPER_62 = {
 }
 
 
-def generate(suites: Sequence[str], quick: bool = False, out=sys.stdout
-             ) -> Dict[str, List[ThreeWay]]:
+def generate(suites: Sequence[str], quick: bool = False, out=sys.stdout,
+             jobs: int = 1, backend: str = "plan",
+             profile: bool = False) -> Dict[str, List[ThreeWay]]:
+    if profile:
+        jobs = 1  # cProfile + histogram need everything in-process
+    histogram: Optional[Dict[str, int]] = {} if profile else None
+    profiler = cProfile.Profile() if profile else None
     results: Dict[str, List[ThreeWay]] = {}
     for suite_name in suites:
         workloads = SUITES[suite_name]
@@ -79,7 +101,15 @@ def generate(suites: Sequence[str], quick: bool = False, out=sys.stdout
             for workload in workloads:
                 workload.warmup_iterations = min(
                     workload.warmup_iterations, 25)
-        three_ways = [run_three_way(w) for w in workloads]
+        with profiled(profiler):
+            if jobs > 1:
+                from concurrent.futures import ProcessPoolExecutor
+                items = [(w, backend) for w in workloads]
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    three_ways = list(pool.map(_three_way_worker, items))
+            else:
+                three_ways = [run_three_way(w, backend, histogram)
+                              for w in workloads]
         results[suite_name] = three_ways
         rows = [[t.workload.name, pct(t.equi_speedup_pct),
                  pct(t.pea_speedup_pct)] for t in three_ways]
@@ -93,6 +123,8 @@ def generate(suites: Sequence[str], quick: bool = False, out=sys.stdout
         print(f"\n== {suite_name}: speedup over no-EA ==", file=out)
         print(render_table(["benchmark", "equi-escape EA", "PEA"], rows),
               file=out)
+    if profile:
+        print_profile(profiler, histogram, out=out)
     return results
 
 
@@ -101,9 +133,18 @@ def main(argv=None):
     parser.add_argument("--suite", choices=sorted(SUITES) + ["all"],
                         default="all")
     parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run workloads in N parallel processes")
+    parser.add_argument("--backend", choices=["plan", "legacy"],
+                        default="plan",
+                        help="compiled-code execution backend")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile top-20 + per-node-kind execution "
+                             "histogram (forces --jobs 1)")
     args = parser.parse_args(argv)
     suites = list(SUITES) if args.suite == "all" else [args.suite]
-    generate(suites, quick=args.quick)
+    generate(suites, quick=args.quick, jobs=args.jobs,
+             backend=args.backend, profile=args.profile)
 
 
 if __name__ == "__main__":

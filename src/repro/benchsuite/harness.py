@@ -43,9 +43,14 @@ class Measurement:
         return SIMULATED_CYCLES_PER_MINUTE / self.cycles_per_iteration
 
 
-def run_workload(workload: Workload, config: CompilerConfig
+def run_workload(workload: Workload, config: CompilerConfig,
+                 histogram: Optional[Dict[str, int]] = None
                  ) -> Measurement:
-    """Warm up, then measure ``workload.measure_iterations`` iterations."""
+    """Warm up, then measure ``workload.measure_iterations`` iterations.
+
+    When *histogram* is given (and the config sets
+    ``collect_node_histogram``), the VM's per-node-kind execution counts
+    are accumulated into it."""
     program = compile_source(workload.source, natives=workload.natives
                              or None)
     vm = VM(program, config)
@@ -61,6 +66,11 @@ def run_workload(workload: Workload, config: CompilerConfig
         program.reset_statics()
     heap_delta = vm.heap_snapshot().delta(heap_before)
     cycles = vm.cycles_snapshot() - cycles_before
+
+    if histogram is not None:
+        for kind, count in \
+                vm.exec_stats.node_kind_executions.items():
+            histogram[kind] = histogram.get(kind, 0) + count
 
     iterations = workload.measure_iterations
     compiled_nodes = sum(r.node_count for r in vm.compiled.values())
@@ -120,21 +130,42 @@ class Comparison:
 
 def compare_workload(workload: Workload,
                      baseline: Optional[CompilerConfig] = None,
-                     optimized: Optional[CompilerConfig] = None
+                     optimized: Optional[CompilerConfig] = None,
+                     histogram: Optional[Dict[str, int]] = None
                      ) -> Comparison:
     """Run one workload under the paper's two configurations."""
     comparison = Comparison(
         workload,
-        run_workload(workload, baseline or CompilerConfig.no_ea()),
+        run_workload(workload, baseline or CompilerConfig.no_ea(),
+                     histogram),
         run_workload(workload, optimized
-                     or CompilerConfig.partial_escape()),
+                     or CompilerConfig.partial_escape(), histogram),
     )
     comparison.verify()
     return comparison
 
 
+def _compare_worker(item) -> Comparison:
+    """Module-level worker so ProcessPoolExecutor can pickle it."""
+    workload, baseline, optimized = item
+    return compare_workload(workload, baseline, optimized)
+
+
 def run_suite(workloads: Sequence[Workload],
               baseline: Optional[CompilerConfig] = None,
-              optimized: Optional[CompilerConfig] = None
+              optimized: Optional[CompilerConfig] = None,
+              jobs: int = 1,
+              histogram: Optional[Dict[str, int]] = None
               ) -> List[Comparison]:
-    return [compare_workload(w, baseline, optimized) for w in workloads]
+    """Compare every workload; with ``jobs > 1``, fan the (independent)
+    per-workload comparisons out over worker processes.  Results are
+    reassembled in submission order, so the output is bit-identical to
+    a serial run.  ``histogram`` is only honored serially (profiling
+    forces ``jobs=1``)."""
+    if jobs <= 1:
+        return [compare_workload(w, baseline, optimized, histogram)
+                for w in workloads]
+    from concurrent.futures import ProcessPoolExecutor
+    items = [(w, baseline, optimized) for w in workloads]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(_compare_worker, items))

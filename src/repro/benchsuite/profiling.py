@@ -1,0 +1,50 @@
+"""``--profile`` support for the report generators.
+
+Two views, so future performance PRs have a measurement hook:
+
+- a cProfile top-20 (by total time) of the harness run — where the
+  *simulator* spends wall-clock time;
+- an :class:`~repro.runtime.costmodel.ExecutionStats` per-node-kind
+  execution histogram — what the *simulated machine* executes most.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+from contextlib import contextmanager
+from typing import Dict, Optional
+
+
+@contextmanager
+def profiled(profiler: Optional[cProfile.Profile]):
+    """Enable *profiler* (if any) for the duration of the block."""
+    if profiler is None:
+        yield None
+        return
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+
+
+def print_profile(profiler: Optional[cProfile.Profile],
+                  histogram: Optional[Dict[str, int]],
+                  out=sys.stdout, top: int = 20) -> None:
+    if profiler is not None:
+        print(f"\n-- cProfile: top {top} by total time --", file=out)
+        stats = pstats.Stats(profiler, stream=out)
+        stats.sort_stats("tottime").print_stats(top)
+    if histogram:
+        print("-- simulated machine: node executions by kind --",
+              file=out)
+        total = sum(histogram.values())
+        width = max(len(kind) for kind in histogram)
+        for kind, count in sorted(histogram.items(),
+                                  key=lambda item: -item[1]):
+            share = count / total * 100.0
+            print(f"  {kind:<{width}}  {count:>12,}  {share:5.1f}%",
+                  file=out)
+        print(f"  {'total':<{width}}  {total:>12,}", file=out)

@@ -17,11 +17,15 @@ benchmarks without significant changes, as in the paper's footnote.
 from __future__ import annotations
 
 import argparse
+import cProfile
+import json
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from ..jit import CompilerConfig
 from .harness import Comparison, run_suite
+from .profiling import print_profile, profiled
 from .reporting import num, pct, render_table
 from .workloads import (DACAPO, DACAPO_SHOWN, SCALADACAPO, SPECJBB_ALL,
                         SUITES)
@@ -70,17 +74,32 @@ HEADERS = ["benchmark", "KB/it", "KB/it+", "dKB",
 
 
 def generate(suites: Sequence[str], quick: bool = False,
-             locks: bool = False, out=sys.stdout) -> dict:
+             locks: bool = False, out=sys.stdout, jobs: int = 1,
+             backend: str = "plan", json_path: Optional[str] = None,
+             profile: bool = False) -> dict:
     """Run the selected suites and print Table 1; returns the raw
     comparisons keyed by suite for programmatic use."""
+    if profile:
+        jobs = 1  # cProfile + histogram need everything in-process
+    baseline = CompilerConfig.no_ea(
+        execution_backend=backend, collect_node_histogram=profile)
+    optimized = CompilerConfig.partial_escape(
+        execution_backend=backend, collect_node_histogram=profile)
+    histogram = {} if profile else None
+    profiler = cProfile.Profile() if profile else None
     results = {}
+    wall_clock = {}
     for suite_name in suites:
         workloads = SUITES[suite_name]
         if quick:
             workloads = [w for w in workloads]
             for w in workloads:
                 w.warmup_iterations = min(w.warmup_iterations, 25)
-        comparisons = run_suite(workloads)
+        started = time.perf_counter()
+        with profiled(profiler):
+            comparisons = run_suite(workloads, baseline, optimized,
+                                    jobs=jobs, histogram=histogram)
+        wall_clock[suite_name] = time.perf_counter() - started
         results[suite_name] = comparisons
         shown = ([w.name for w in DACAPO_SHOWN]
                  if suite_name == "dacapo" else None)
@@ -101,7 +120,42 @@ def generate(suites: Sequence[str], quick: bool = False,
                 if c.without.monitor_ops_per_iteration > 0]
             print(render_table(["benchmark", "without", "with", "change"],
                                lock_rows), file=out)
+    if profile:
+        print_profile(profiler, histogram, out=out)
+    if json_path:
+        _write_json(json_path, results, wall_clock, jobs, backend, quick)
     return results
+
+
+def _write_json(path: str, results: dict, wall_clock: dict, jobs: int,
+                backend: str, quick: bool) -> None:
+    """Per-workload cycles/iteration + harness wall-clock, for CI
+    tracking (BENCH_table1.json)."""
+    payload = {
+        "backend": backend,
+        "jobs": jobs,
+        "quick": quick,
+        "suites": {},
+    }
+    for suite_name, comparisons in results.items():
+        payload["suites"][suite_name] = {
+            "harness_wall_clock_seconds": round(
+                wall_clock[suite_name], 3),
+            "workloads": {
+                c.workload.name: {
+                    "checksum": c.without.checksum,
+                    "cycles_per_iteration_no_ea":
+                        c.without.cycles_per_iteration,
+                    "cycles_per_iteration_pea":
+                        c.with_pea.cycles_per_iteration,
+                    "deopts_no_ea": c.without.deopts,
+                    "deopts_pea": c.with_pea.deopts,
+                } for c in comparisons
+            },
+        }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 def main(argv=None):
@@ -112,9 +166,21 @@ def main(argv=None):
                         help="also print monitor-operation changes")
     parser.add_argument("--quick", action="store_true",
                         help="fewer warmup iterations")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run workloads in N parallel processes")
+    parser.add_argument("--backend", choices=["plan", "legacy"],
+                        default="plan",
+                        help="compiled-code execution backend")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write per-workload metrics as JSON")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile top-20 + per-node-kind execution "
+                             "histogram (forces --jobs 1)")
     args = parser.parse_args(argv)
     suites = list(SUITES) if args.suite == "all" else [args.suite]
-    generate(suites, quick=args.quick, locks=args.locks)
+    generate(suites, quick=args.quick, locks=args.locks, jobs=args.jobs,
+             backend=args.backend, json_path=args.json,
+             profile=args.profile)
 
 
 if __name__ == "__main__":

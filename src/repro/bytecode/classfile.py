@@ -99,6 +99,10 @@ class JClass:
     fields: Dict[str, JField] = field(default_factory=dict)
     methods: Dict[str, JMethod] = field(default_factory=dict)
 
+    #: Back-reference set by Program.add_class so structural changes can
+    #: invalidate the program's resolution/layout caches.
+    _program = None
+
     def __post_init__(self):
         if self.name == OBJECT_CLASS:
             self.superclass_name = None
@@ -108,6 +112,8 @@ class JClass:
             raise ValueError(
                 f"duplicate field {self.name}.{jfield.name}")
         self.fields[jfield.name] = jfield
+        if self._program is not None:
+            self._program._invalidate_caches()
         return jfield
 
     def add_method(self, method: JMethod) -> JMethod:
@@ -116,6 +122,8 @@ class JClass:
                 f"duplicate method {self.name}.{method.name}")
         method.holder = self
         self.methods[method.name] = method
+        if self._program is not None:
+            self._program._invalidate_caches()
         return method
 
     def __repr__(self):
@@ -128,6 +136,17 @@ class Program:
     def __init__(self):
         self.classes: Dict[str, JClass] = {}
         self.statics: Dict[str, Any] = {}  # "Class.field" -> value
+        # Resolution/layout caches.  Resolution walks the superclass
+        # chain on every query, and both execution tiers query on every
+        # call / allocation — caching here speeds interpreter and
+        # compiled code alike.  Invalidated on any structural change
+        # (add_class / add_field / add_method).
+        self._method_cache: Dict[tuple, JMethod] = {}
+        self._field_cache: Dict[tuple, JField] = {}
+        self._static_key_cache: Dict[tuple, str] = {}
+        self._fields_list_cache: Dict[str, List[JField]] = {}
+        self._size_cache: Dict[str, int] = {}
+        self._defaults_cache: Dict[str, Dict[str, Any]] = {}
         self.add_class(JClass(OBJECT_CLASS))
 
     # -- construction ---------------------------------------------------
@@ -136,7 +155,17 @@ class Program:
         if jclass.name in self.classes:
             raise ValueError(f"duplicate class {jclass.name}")
         self.classes[jclass.name] = jclass
+        jclass._program = self
+        self._invalidate_caches()
         return jclass
+
+    def _invalidate_caches(self) -> None:
+        self._method_cache.clear()
+        self._field_cache.clear()
+        self._static_key_cache.clear()
+        self._fields_list_cache.clear()
+        self._size_cache.clear()
+        self._defaults_cache.clear()
 
     def define_class(self, name, superclass_name=OBJECT_CLASS) -> JClass:
         """Create, register and return an empty class."""
@@ -166,16 +195,26 @@ class Program:
         return any(c.name == ancestor for c in self.superclasses(name))
 
     def resolve_field(self, class_name: str, field_name: str) -> JField:
+        key = (class_name, field_name)
+        cached = self._field_cache.get(key)
+        if cached is not None:
+            return cached
         for jclass in self.superclasses(class_name):
             if field_name in jclass.fields:
+                self._field_cache[key] = jclass.fields[field_name]
                 return jclass.fields[field_name]
         raise ResolutionError(f"unknown field {class_name}.{field_name}")
 
     def resolve_method(self, class_name: str, method_name: str) -> JMethod:
         """Resolve statically (for invokestatic/invokespecial and as the
         declared target of invokevirtual)."""
+        key = (class_name, method_name)
+        cached = self._method_cache.get(key)
+        if cached is not None:
+            return cached
         for jclass in self.superclasses(class_name):
             if method_name in jclass.methods:
+                self._method_cache[key] = jclass.methods[method_name]
                 return jclass.methods[method_name]
         raise ResolutionError(f"unknown method {class_name}.{method_name}")
 
@@ -206,17 +245,37 @@ class Program:
 
     def instance_fields(self, class_name: str) -> List[JField]:
         """All instance fields including inherited ones, base class first."""
+        cached = self._fields_list_cache.get(class_name)
+        if cached is not None:
+            return cached
         chain = list(self.superclasses(class_name))
         result: List[JField] = []
         for jclass in reversed(chain):
             result.extend(f for f in jclass.fields.values()
                           if not f.is_static)
+        self._fields_list_cache[class_name] = result
         return result
 
     def instance_size(self, class_name: str) -> int:
         """Heap size in bytes of an instance of *class_name*."""
-        return (OBJECT_HEADER_BYTES
+        cached = self._size_cache.get(class_name)
+        if cached is not None:
+            return cached
+        size = (OBJECT_HEADER_BYTES
                 + FIELD_BYTES * len(self.instance_fields(class_name)))
+        self._size_cache[class_name] = size
+        return size
+
+    def instance_field_defaults(self, class_name: str) -> Dict[str, Any]:
+        """Template of default field values for a fresh instance.
+        Callers must copy before mutating (``dict(template)``)."""
+        cached = self._defaults_cache.get(class_name)
+        if cached is not None:
+            return cached
+        template = {f.name: f.default_value()
+                    for f in self.instance_fields(class_name)}
+        self._defaults_cache[class_name] = template
+        return template
 
     @staticmethod
     def array_size(length: int) -> int:
@@ -226,6 +285,10 @@ class Program:
     # -- statics ------------------------------------------------------------
 
     def static_key(self, class_name: str, field_name: str) -> str:
+        cache_key = (class_name, field_name)
+        cached = self._static_key_cache.get(cache_key)
+        if cached is not None:
+            return cached
         jfield = self.resolve_field(class_name, field_name)
         if not jfield.is_static:
             raise ResolutionError(
@@ -233,7 +296,9 @@ class Program:
         # Find the declaring class so Sub.f and Base.f share storage.
         for jclass in self.superclasses(class_name):
             if field_name in jclass.fields:
-                return f"{jclass.name}.{field_name}"
+                key = f"{jclass.name}.{field_name}"
+                self._static_key_cache[cache_key] = key
+                return key
         raise AssertionError("unreachable")
 
     def get_static(self, class_name: str, field_name: str):

@@ -138,8 +138,7 @@ class Heap:
     def new_instance(self, class_name: str, on_stack: bool = False
                      ) -> Obj:
         jclass = self.program.lookup_class(class_name)  # raises if unknown
-        fields = {f.name: f.default_value()
-                  for f in self.program.instance_fields(jclass.name)}
+        fields = dict(self.program.instance_field_defaults(jclass.name))
         obj = Obj(class_name, fields, self._next_id)
         self._next_id += 1
         size = self.program.instance_size(class_name)

@@ -9,6 +9,7 @@ exactly what a deoptimizing compiled frame needs (Section 5.5 of the paper).
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass, field
 from typing import Any, List, Optional
 
@@ -20,6 +21,7 @@ from .opcodes import Op
 
 _INT_MASK = (1 << 64) - 1
 _INT_SIGN = 1 << 63
+_INT_WRAP = 1 << 64
 
 MAX_CALL_DEPTH = 256
 
@@ -194,14 +196,18 @@ class Interpreter:
         and the deoptimization entry point (arbitrary ``pc``/stack).
         """
         code = method.code
+        code_len = len(code)
         heap = self.heap
         program = self.program
+        stats = self.stats
+        profile = self.profile
+        step_budget = self.step_budget
         while True:
-            self.stats.steps += 1
-            if self.stats.steps > self.step_budget:
+            stats.steps += 1
+            if stats.steps > step_budget:
                 raise BudgetExceeded(
                     f"step budget exceeded in {method.qualified_name}")
-            if not 0 <= pc < len(code):
+            if not 0 <= pc < code_len:
                 raise VMError(
                     f"pc {pc} out of range in {method.qualified_name}")
             insn = code[pc]
@@ -222,13 +228,16 @@ class Interpreter:
 
             elif op is Op.ADD:
                 b, a = stack.pop(), stack.pop()
-                stack.append(wrap_int(a + b))
+                v = (a + b) & _INT_MASK
+                stack.append(v - _INT_WRAP if v & _INT_SIGN else v)
             elif op is Op.SUB:
                 b, a = stack.pop(), stack.pop()
-                stack.append(wrap_int(a - b))
+                v = (a - b) & _INT_MASK
+                stack.append(v - _INT_WRAP if v & _INT_SIGN else v)
             elif op is Op.MUL:
                 b, a = stack.pop(), stack.pop()
-                stack.append(wrap_int(a * b))
+                v = (a * b) & _INT_MASK
+                stack.append(v - _INT_WRAP if v & _INT_SIGN else v)
             elif op is Op.DIV:
                 b, a = stack.pop(), stack.pop()
                 stack.append(java_div(a, b))
@@ -256,20 +265,19 @@ class Interpreter:
             elif op is Op.GOTO:
                 pc = insn.operand
                 continue
-            elif op in (Op.IF_EQ, Op.IF_NE, Op.IF_LT, Op.IF_LE, Op.IF_GT,
-                        Op.IF_GE, Op.IF_ACMP_EQ, Op.IF_ACMP_NE):
+            elif op in _COMPARE_FNS:
                 b, a = stack.pop(), stack.pop()
-                taken = _compare(op, a, b)
-                if self.profile is not None:
-                    self.profile.record_branch(method, pc, taken)
+                taken = _COMPARE_FNS[op](a, b)
+                if profile is not None:
+                    profile.record_branch(method, pc, taken)
                 if taken:
                     pc = insn.operand
                     continue
             elif op is Op.IF_NULL or op is Op.IF_NONNULL:
                 value = stack.pop()
                 taken = (value is None) == (op is Op.IF_NULL)
-                if self.profile is not None:
-                    self.profile.record_branch(method, pc, taken)
+                if profile is not None:
+                    profile.record_branch(method, pc, taken)
                 if taken:
                     pc = insn.operand
                     continue
@@ -333,9 +341,9 @@ class Interpreter:
                     raise NullPointerError(f"invokevirtual {ref} on null")
                 callee = program.resolve_virtual(receiver.class_name,
                                                  ref.method_name)
-                if self.profile is not None:
-                    self.profile.record_receiver(method, pc,
-                                                 receiver.class_name)
+                if profile is not None:
+                    profile.record_receiver(method, pc,
+                                            receiver.class_name)
                 stack_result = self._call(callee, args, depth)
                 if callee.return_type != "void":
                     stack.append(stack_result)
@@ -355,6 +363,20 @@ class Interpreter:
                 raise VMError(f"unimplemented opcode {op}")
 
             pc += 1
+
+
+#: Branch condition evaluators (C-implemented operators — faster than an
+#: if-chain in the hot dispatch loop).
+_COMPARE_FNS = {
+    Op.IF_EQ: operator.eq,
+    Op.IF_NE: operator.ne,
+    Op.IF_LT: operator.lt,
+    Op.IF_LE: operator.le,
+    Op.IF_GT: operator.gt,
+    Op.IF_GE: operator.ge,
+    Op.IF_ACMP_EQ: operator.is_,
+    Op.IF_ACMP_NE: operator.is_not,
+}
 
 
 def _compare(op: Op, a, b) -> bool:

@@ -97,6 +97,15 @@ def cmd_disasm(args) -> int:
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    # argparse.REMAINDER refuses to swallow leading option-style tokens
+    # (bpo-17050), so `repro table1 --suite ...` never reaches the
+    # delegate; hand the benchsuite subcommands their argv directly.
+    if argv and argv[0] in ("table1", "comparison"):
+        import importlib
+        module = importlib.import_module(f"repro.benchsuite.{argv[0]}")
+        module.main(argv[1:])
+        return 0
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Partial Escape Analysis reproduction toolchain")

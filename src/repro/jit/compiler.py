@@ -21,6 +21,7 @@ from ..opt.inlining import InliningPhase
 from ..opt.phase import PhasePlan
 from ..pea.equi_escape import EquiEscapePhase
 from ..pea.partial_escape import PartialEscapePhase, PEAResult
+from ..runtime.plan import ExecutionPlan, PlanError
 from .options import CompilerConfig, EscapeAnalysisKind
 
 
@@ -30,6 +31,11 @@ class CompilationResult:
     #: Stats from the escape analysis (empty result when disabled).
     ea_result: PEAResult
     node_count: int
+    #: Threaded-code lowering of the graph; ``None`` when the legacy
+    #: backend is selected or the graph uses a node kind the plan
+    #: builder does not support (the VM then falls back to the
+    #: GraphInterpreter for this method).
+    plan: Optional[ExecutionPlan] = None
 
 
 class Compiler:
@@ -94,4 +100,12 @@ class Compiler:
         self.last_timings = plan.timings
         ea_result = (ea_phase.last_result if ea_phase is not None
                      and ea_phase.last_result is not None else PEAResult())
-        return CompilationResult(graph, ea_result, graph.node_count())
+        execution_plan = None
+        if config.execution_backend == "plan":
+            try:
+                execution_plan = ExecutionPlan(graph, self.program,
+                                               config.cost_model)
+            except PlanError:
+                execution_plan = None  # VM falls back to GraphInterpreter
+        return CompilationResult(graph, ea_result, graph.node_count(),
+                                 execution_plan)

@@ -56,6 +56,16 @@ class CompilerConfig:
     #: Ablation knobs for the analysis itself.
     pea_virtualize_arrays: bool = True
     pea_fold_checks: bool = True
+    #: How compiled graphs are executed: ``"plan"`` lowers each graph to
+    #: threaded code (pre-linked handler closures, see
+    #: :mod:`repro.runtime.plan`); ``"legacy"`` walks the IR with the
+    #: original :class:`~repro.runtime.graph_interpreter.GraphInterpreter`.
+    #: Both produce bit-identical metrics; the knob exists for
+    #: differential testing.
+    execution_backend: str = "plan"
+    #: Record a per-node-kind execution histogram in
+    #: :attr:`ExecutionStats.node_kind_executions` (used by ``--profile``).
+    collect_node_histogram: bool = False
     cost_model: CostModel = field(default_factory=CostModel)
 
     @classmethod

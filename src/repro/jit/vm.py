@@ -22,6 +22,7 @@ from ..bytecode.interpreter import Interpreter, Profile
 from ..runtime.costmodel import ExecutionStats
 from ..runtime.deopt import Deoptimizer
 from ..runtime.graph_interpreter import GraphInterpreter
+from ..runtime.plan import BoundPlan, PlanError
 from .compiler import CompilationResult, Compiler
 from .options import CompilerConfig
 
@@ -45,9 +46,14 @@ class VM:
         self.exec_stats = ExecutionStats()
         self.graph_interpreter = GraphInterpreter(
             program, self.heap, self._invoke_callback, self.deoptimizer,
-            config.cost_model, self.exec_stats)
+            config.cost_model, self.exec_stats,
+            config.collect_node_histogram)
         self.compiler = Compiler(program, config, self.profile)
         self.compiled: Dict[JMethod, CompilationResult] = {}
+        #: Threaded-code plans bound to this VM's heap/stats (plan
+        #: backend); methods missing here execute via the
+        #: GraphInterpreter fallback.
+        self._bound_plans: Dict[JMethod, BoundPlan] = {}
         #: Methods that failed to compile (stay interpreted).
         self._uncompilable: Dict[JMethod, str] = {}
         self._interpreter_steps_counted = 0
@@ -116,11 +122,22 @@ class VM:
                 return None  # stay interpreted, like a production VM
             raise
         self.compiled[method] = result
+        if result.plan is not None:
+            try:
+                self._bound_plans[method] = result.plan.bind(
+                    self.heap, self.exec_stats, self._invoke_callback,
+                    self.deoptimizer,
+                    self.config.collect_node_histogram)
+            except PlanError:
+                self._bound_plans.pop(method, None)
         return result
 
     def _execute_compiled(self, method: JMethod,
                           compiled: CompilationResult,
                           args: List[Any]) -> Any:
+        bound = self._bound_plans.get(method)
+        if bound is not None:
+            return bound.execute(args)
         return self.graph_interpreter.execute(compiled.graph, args)
 
     def _execute_interpreted(self, method: JMethod,
@@ -148,6 +165,7 @@ class VM:
         if count >= self.config.deopt_invalidate_threshold and \
                 root_method in self.compiled:
             del self.compiled[root_method]
+            self._bound_plans.pop(root_method, None)
             self.deopt_counts[root_method] = 0
             self.invalidations += 1
 

@@ -3,7 +3,9 @@
 from .costmodel import DEFAULT_COST_MODEL, CostModel, ExecutionStats
 from .deopt import DeoptError, Deoptimizer
 from .graph_interpreter import GraphExecutionError, GraphInterpreter
+from .plan import BoundPlan, ExecutionPlan, PlanError
 
 __all__ = ["DEFAULT_COST_MODEL", "CostModel", "ExecutionStats",
            "DeoptError", "Deoptimizer", "GraphExecutionError",
-           "GraphInterpreter"]
+           "GraphInterpreter", "BoundPlan", "ExecutionPlan",
+           "PlanError"]

@@ -115,18 +115,26 @@ class ExecutionStats:
     deopts: int = 0
     compiled_invocations: int = 0
     interpreted_invocations: int = 0
+    #: Per-node-kind execution counts; only populated when the VM runs
+    #: with ``CompilerConfig.collect_node_histogram`` (``--profile``).
+    node_kind_executions: dict = field(default_factory=dict)
 
     def copy(self) -> "ExecutionStats":
         return ExecutionStats(self.cycles, self.node_executions,
                               self.interpreter_steps, self.deopts,
                               self.compiled_invocations,
-                              self.interpreted_invocations)
+                              self.interpreted_invocations,
+                              dict(self.node_kind_executions))
 
     def delta(self, earlier: "ExecutionStats") -> "ExecutionStats":
+        histogram = {
+            kind: count - earlier.node_kind_executions.get(kind, 0)
+            for kind, count in self.node_kind_executions.items()}
         return ExecutionStats(
             self.cycles - earlier.cycles,
             self.node_executions - earlier.node_executions,
             self.interpreter_steps - earlier.interpreter_steps,
             self.deopts - earlier.deopts,
             self.compiled_invocations - earlier.compiled_invocations,
-            self.interpreted_invocations - earlier.interpreted_invocations)
+            self.interpreted_invocations - earlier.interpreted_invocations,
+            histogram)

@@ -49,13 +49,23 @@ class GraphInterpreter:
                  invoke_callback: Callable[[str, Any, List[Any]], Any],
                  deoptimizer: Optional[Deoptimizer] = None,
                  cost_model: CostModel = DEFAULT_COST_MODEL,
-                 stats: Optional[ExecutionStats] = None):
+                 stats: Optional[ExecutionStats] = None,
+                 collect_histogram: bool = False):
         self.program = program
         self.heap = heap
         self.invoke_callback = invoke_callback
         self.deoptimizer = deoptimizer
         self.cost_model = cost_model
         self.stats = stats if stats is not None else ExecutionStats()
+        self.collect_histogram = collect_histogram
+        #: Phi tuples per merge, so loop back-edges don't rebuild the
+        #: list on every iteration.  Keyed by node identity; recompiled
+        #: graphs bring fresh merge nodes, so stale entries are inert.
+        self._phi_cache: Dict[Node, tuple] = {}
+        #: Reusable memo dict for top-level expression evaluations
+        #: (cleared before each use — identical semantics to a fresh
+        #: dict, without the per-node allocation).
+        self._scratch: Dict[Node, Any] = {}
 
     # -- public -----------------------------------------------------------
 
@@ -68,6 +78,13 @@ class GraphInterpreter:
         return self._run(graph, env, multiplier)
 
     # -- evaluation of floating expressions ----------------------------------
+
+    def _evaluate_root(self, node: Node, env: Dict[Node, Any]) -> Any:
+        """Top-level expression evaluation: fresh-memo semantics via a
+        reused (cleared) scratch dict."""
+        scratch = self._scratch
+        scratch.clear()
+        return self._evaluate(node, env, scratch)
 
     def _evaluate(self, node: Node, env: Dict[Node, Any],
                   memo: Optional[Dict[Node, Any]] = None) -> Any:
@@ -107,6 +124,9 @@ class GraphInterpreter:
         cost_model = self.cost_model
         heap = self.heap
         stats = self.stats
+        phi_cache = self._phi_cache
+        histogram = (stats.node_kind_executions
+                     if self.collect_histogram else None)
         stats.compiled_invocations += 1
         current: Node = graph.start
         steps = 0
@@ -116,6 +136,9 @@ class GraphInterpreter:
                 raise GraphExecutionError("control step budget exceeded")
             stats.node_executions += 1
             stats.cycles += cost_model.node_cost(current) * multiplier
+            if histogram is not None:
+                kind = type(current).__name__
+                histogram[kind] = histogram.get(kind, 0) + 1
 
             if isinstance(current, (StartNode, BeginNode, LoopExitNode,
                                     MergeNode)):
@@ -127,21 +150,24 @@ class GraphInterpreter:
                 else:
                     merge = current.merge()
                 index = merge.end_index(current)
-                phis = list(merge.phis())
+                phis = phi_cache.get(merge)
+                if phis is None:
+                    phis = tuple(merge.phis())
+                    phi_cache[merge] = phis
                 new_values = [
-                    self._evaluate(phi.values[index], env)
+                    self._evaluate_root(phi.values[index], env)
                     for phi in phis]
                 for phi, value in zip(phis, new_values):
                     env[phi] = value
                 current = merge
 
             elif isinstance(current, IfNode):
-                condition = self._evaluate(current.condition, env)
+                condition = self._evaluate_root(current.condition, env)
                 current = (current.true_successor if condition
                            else current.false_successor)
 
             elif isinstance(current, FixedGuardNode):
-                condition = self._evaluate(current.condition, env)
+                condition = self._evaluate_root(current.condition, env)
                 if bool(condition) == current.negated:
                     return self._deoptimize(current.state, current.reason,
                                             env)
@@ -150,7 +176,7 @@ class GraphInterpreter:
             elif isinstance(current, ReturnNode):
                 if current.value is None:
                     return None
-                return self._evaluate(current.value, env)
+                return self._evaluate_root(current.value, env)
 
             elif isinstance(current, DeoptimizeNode):
                 return self._deoptimize(current.state, current.reason,
@@ -168,7 +194,7 @@ class GraphInterpreter:
                 current = current.next
 
             elif isinstance(current, NewArrayNode):
-                length = self._evaluate(current.length, env)
+                length = self._evaluate_root(current.length, env)
                 on_stack = getattr(current, "stack_allocated", False)
                 arr = heap.new_array(current.elem_type, length, on_stack)
                 size = self.program.array_size(length)
@@ -180,14 +206,14 @@ class GraphInterpreter:
                 current = current.next
 
             elif isinstance(current, LoadFieldNode):
-                obj = self._evaluate(current.object, env)
+                obj = self._evaluate_root(current.object, env)
                 env[current] = heap.get_field(obj,
                                               current.field.field_name)
                 current = current.next
 
             elif isinstance(current, StoreFieldNode):
-                obj = self._evaluate(current.object, env)
-                value = self._evaluate(current.value, env)
+                obj = self._evaluate_root(current.object, env)
+                value = self._evaluate_root(current.value, env)
                 heap.put_field(obj, current.field.field_name, value)
                 current = current.next
 
@@ -197,55 +223,55 @@ class GraphInterpreter:
                 current = current.next
 
             elif isinstance(current, StoreStaticNode):
-                value = self._evaluate(current.value, env)
+                value = self._evaluate_root(current.value, env)
                 self.program.set_static(current.field.class_name,
                                         current.field.field_name, value)
                 current = current.next
 
             elif isinstance(current, LoadIndexedNode):
-                arr = self._evaluate(current.array, env)
-                index = self._evaluate(current.index, env)
+                arr = self._evaluate_root(current.array, env)
+                index = self._evaluate_root(current.index, env)
                 env[current] = heap.array_load(arr, index)
                 current = current.next
 
             elif isinstance(current, StoreIndexedNode):
-                arr = self._evaluate(current.array, env)
-                index = self._evaluate(current.index, env)
-                value = self._evaluate(current.value, env)
+                arr = self._evaluate_root(current.array, env)
+                index = self._evaluate_root(current.index, env)
+                value = self._evaluate_root(current.value, env)
                 heap.array_store(arr, index, value)
                 current = current.next
 
             elif isinstance(current, ArrayLengthNode):
-                arr = self._evaluate(current.array, env)
+                arr = self._evaluate_root(current.array, env)
                 env[current] = heap.array_length(arr)
                 current = current.next
 
             elif isinstance(current, RefEqualsNode):
-                a = self._evaluate(current.x, env)
-                b = self._evaluate(current.y, env)
+                a = self._evaluate_root(current.x, env)
+                b = self._evaluate_root(current.y, env)
                 env[current] = 1 if a is b else 0
                 current = current.next
 
             elif isinstance(current, IsNullNode):
-                value = self._evaluate(current.value, env)
+                value = self._evaluate_root(current.value, env)
                 env[current] = 1 if value is None else 0
                 current = current.next
 
             elif isinstance(current, InstanceOfNode):
-                value = self._evaluate(current.value, env)
+                value = self._evaluate_root(current.value, env)
                 env[current] = heap.instance_of(value, current.class_name)
                 current = current.next
 
             elif isinstance(current, MonitorEnterNode):
-                heap.monitor_enter(self._evaluate(current.object, env))
+                heap.monitor_enter(self._evaluate_root(current.object, env))
                 current = current.next
 
             elif isinstance(current, MonitorExitNode):
-                heap.monitor_exit(self._evaluate(current.object, env))
+                heap.monitor_exit(self._evaluate_root(current.object, env))
                 current = current.next
 
             elif isinstance(current, InvokeNode):
-                arg_values = [self._evaluate(a, env)
+                arg_values = [self._evaluate_root(a, env)
                               for a in current.arguments]
                 result = self.invoke_callback(current.kind, current.target,
                                               arg_values)
