@@ -180,6 +180,79 @@ def _parse_method_header(rest: str, line_number: int) -> JMethod:
     return method
 
 
+def _format_operand(instruction, labels: Dict[int, str],
+                    line_number_hint: int = 0) -> str:
+    kind = info(instruction.op).operand
+    operand = instruction.operand
+    if kind is OperandKind.NONE:
+        return ""
+    if kind is OperandKind.CONST:
+        if operand is None:
+            return " null"
+        if isinstance(operand, bool):
+            return f" {int(operand)}"
+        if isinstance(operand, str):
+            return f' "{operand}"'
+        return f" {operand}"
+    if kind is OperandKind.TARGET:
+        return f" {labels[operand]}"
+    # LOCAL / CLASS / FIELD / METHOD all stringify to assembler syntax.
+    return f" {operand}"
+
+
+def method_to_asm(method: JMethod, indent: str = "    ") -> List[str]:
+    """Render one method as assembler lines (header + body)."""
+    header = (f"  method {method.name}"
+              f"({', '.join(method.param_types)}) "
+              f"-> {method.return_type}")
+    if method.is_static:
+        header += " static"
+    if method.is_synchronized:
+        header += " synchronized"
+    if method.is_native:
+        header += " native"
+        return [header]
+    header += f" locals={method.max_locals}"
+    lines = [header]
+    targets = sorted({inst.operand for inst in method.code
+                     if info(inst.op).operand is OperandKind.TARGET})
+    labels = {bci: f"L{bci}" for bci in targets}
+    for bci, instruction in enumerate(method.code):
+        if bci in labels:
+            lines.append(f"  {labels[bci]}:")
+        lines.append(f"{indent}{instruction.op.value}"
+                     f"{_format_operand(instruction, labels)}")
+    return lines
+
+
+def to_asm(program: Program) -> str:
+    """Render *program* in the textual format :func:`assemble` parses.
+
+    Round-trip: ``assemble(to_asm(p))`` reproduces an equivalent
+    program (same classes, fields, methods and instruction streams).
+    The implicit empty ``Object`` root class is omitted.  This is what
+    the fuzzer uses to persist reproducers in ``tests/corpus/``.
+    """
+    lines: List[str] = []
+    for jclass in program.classes.values():
+        if (jclass.superclass_name is None and not jclass.fields
+                and not jclass.methods):
+            continue  # the implicit Object root
+        header = f"class {jclass.name}"
+        if jclass.superclass_name not in (None, "Object"):
+            header += f" extends {jclass.superclass_name}"
+        if lines:
+            lines.append("")
+        lines.append(header)
+        for jfield in jclass.fields.values():
+            static = "static " if jfield.is_static else ""
+            lines.append(f"  field {static}{jfield.type_name} "
+                         f"{jfield.name}")
+        for method in jclass.methods.values():
+            lines.extend(method_to_asm(method))
+    return "\n".join(lines) + "\n"
+
+
 def assemble(text: str, verify: bool = True) -> Program:
     """Assemble *text* into a verified :class:`Program`."""
     program = Program()

@@ -5,6 +5,7 @@ Subcommands::
     python -m repro run FILE --entry Main.run --args 100 [--config pea]
     python -m repro compile FILE --method Main.run [--dump-ir] [--dot F]
     python -m repro disasm FILE
+    python -m repro fuzz --programs 200 --seed 1234 [--corpus-dir D]
     python -m repro table1 [...]        (delegates to benchsuite.table1)
     python -m repro comparison [...]    (delegates to .comparison)
 """
@@ -96,6 +97,25 @@ def cmd_disasm(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    import os
+    if args.verify_ir:
+        os.environ["REPRO_VERIFY_IR"] = "1"
+    from .verify.fuzz import fuzz
+    report = fuzz(programs=args.programs, seed=args.seed,
+                  corpus_dir=args.corpus_dir,
+                  shrink=not args.no_shrink, log=print)
+    print(f"ran {report.programs_run} programs, "
+          f"{len(report.coverage)} coverage keys "
+          f"({report.coverage_adds} coverage-adding programs), "
+          f"{len(report.failures)} failure(s)")
+    for failure in report.failures:
+        reproducer = failure.reproducer()
+        print(f"  [{failure.category}] {failure.detail} "
+              f"({reproducer.statement_count()} statements)")
+    return 1 if report.failures else 0
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     # argparse.REMAINDER refuses to swallow leading option-style tokens
@@ -142,6 +162,22 @@ def main(argv=None) -> int:
         "disasm", help="disassemble a program's bytecode")
     disasm_parser.add_argument("file")
     disasm_parser.set_defaults(func=cmd_disasm)
+
+    fuzz_parser = subparsers.add_parser(
+        "fuzz", help="coverage-guided differential fuzzing "
+                     "(interpreter vs legacy vs plan backend)")
+    fuzz_parser.add_argument("--programs", type=int, default=200)
+    fuzz_parser.add_argument("--seed", type=int, default=1234)
+    fuzz_parser.add_argument("--corpus-dir",
+                             help="write shrunk reproducers "
+                                  "(.jasm + .json) here")
+    fuzz_parser.add_argument("--no-shrink", action="store_true",
+                             help="skip delta-debugging of failures")
+    fuzz_parser.add_argument("--verify-ir", action="store_true",
+                             default=True,
+                             help="run the full IR verifier after "
+                                  "every phase (default on)")
+    fuzz_parser.set_defaults(func=cmd_fuzz)
 
     for name, module in (("table1", "table1"),
                          ("comparison", "comparison")):

@@ -55,7 +55,7 @@ class Compiler:
                             config.speculate_branches,
                             config.speculation_min_samples)
 
-        plan = PhasePlan()
+        plan = PhasePlan(verify_ir=config.verify_ir)
         if config.inline:
             plan.append(InliningPhase(self.program,
                                       config.inlining_policy,

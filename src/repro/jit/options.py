@@ -4,11 +4,19 @@ these flags (no EA / equi-escape EA / Partial Escape Analysis)."""
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ..opt.inlining import InliningPolicy
 from ..runtime.costmodel import CostModel
+
+
+def _default_verify_ir() -> bool:
+    """``REPRO_VERIFY_IR=1`` turns the full invariant verifier on by
+    default (tests/conftest.py sets it, so it is always on under
+    pytest)."""
+    return os.environ.get("REPRO_VERIFY_IR", "") == "1"
 
 
 class EscapeAnalysisKind(enum.Enum):
@@ -56,6 +64,12 @@ class CompilerConfig:
     #: Ablation knobs for the analysis itself.
     pea_virtualize_arrays: bool = True
     pea_fold_checks: bool = True
+    #: Run the full :class:`repro.verify.GraphVerifier` invariant suite
+    #: after every phase of every compilation (SSA dominance, CFG
+    #: shape, frame-state completeness, PEA invariants).  Defaults to
+    #: the ``REPRO_VERIFY_IR`` environment variable; always on in the
+    #: test suite.
+    verify_ir: bool = field(default_factory=_default_verify_ir)
     #: How compiled graphs are executed: ``"plan"`` lowers each graph to
     #: threaded code (pre-linked handler closures, see
     #: :mod:`repro.runtime.plan`); ``"legacy"`` walks the IR with the

@@ -32,24 +32,40 @@ class PhaseTiming:
 
 class PhasePlan:
     """An ordered list of phases applied to a graph, with verification
-    after every phase (compiler bugs surface immediately)."""
+    after every phase (compiler bugs surface immediately).
+
+    ``verify_between`` runs the cheap structural check
+    (:meth:`Graph.verify`) after each phase; ``verify_ir`` additionally
+    runs the full :class:`repro.verify.GraphVerifier` invariant suite
+    (SSA dominance, CFG shape, frame-state completeness, PEA
+    invariants) on the input graph and after every phase, attributing
+    any violation to the phase that introduced it."""
 
     def __init__(self, phases: Optional[List[Phase]] = None,
-                 verify_between: bool = True):
+                 verify_between: bool = True, verify_ir: bool = False):
         self.phases: List[Phase] = list(phases) if phases else []
         self.verify_between = verify_between
+        self.verify_ir = verify_ir
         self.timings: List[PhaseTiming] = []
 
     def append(self, phase: Phase) -> "PhasePlan":
         self.phases.append(phase)
         return self
 
+    def _verify(self, graph: Graph, phase_name: str):
+        if self.verify_ir:
+            from ..verify.verifier import verify_graph
+            verify_graph(graph, phase=phase_name)
+        elif self.verify_between:
+            graph.verify()
+
     def run(self, graph: Graph) -> Graph:
+        if self.verify_ir:
+            self._verify(graph, "graph-building")
         for phase in self.phases:
             started = time.perf_counter()
             changed = bool(phase.run(graph))
             self.timings.append(PhaseTiming(
                 phase.name, time.perf_counter() - started, changed))
-            if self.verify_between:
-                graph.verify()
+            self._verify(graph, phase.name)
         return graph

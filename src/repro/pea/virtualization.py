@@ -356,6 +356,14 @@ class PEATool:
                 for value in original.input_list(list_name):
                     duplicate.input_list(list_name).append(
                         self._state_value(value, state, needed))
+            # Snapshots created by an earlier PEA round must survive
+            # the rewrite: the states still reference their virtual
+            # objects, and dropping the mappings would make those
+            # objects unmaterializable at deopt.
+            for mapping in original.virtual_mappings:
+                if mapping is not None:
+                    duplicate.virtual_mappings.append(
+                        self._carry_mapping(mapping, state, needed))
             new_outer = duplicate
             new_chain.append(duplicate)
         innermost = new_chain[-1]
@@ -394,7 +402,45 @@ class PEATool:
                     return True
                 if state.get_alias(resolved) is not None:
                     return True
+        # Entries of earlier-round snapshots may reference values this
+        # round is virtualizing (e.g. a materialized allocation that is
+        # being re-virtualized): they need re-resolution too.
+        for mapping in frame_state.virtual_mappings:
+            if mapping is None:
+                continue
+            for entry in mapping.entries:
+                if entry is None or isinstance(entry, VirtualObjectNode):
+                    continue
+                resolved = self.resolve(entry)
+                if resolved is not entry or \
+                        state.get_alias(resolved) is not None:
+                    return True
         return False
+
+    def _carry_mapping(self, mapping: EscapeObjectStateNode,
+                       state: PEAState, needed: Set[VirtualObjectNode]
+                       ) -> EscapeObjectStateNode:
+        """Preserve an earlier round's EscapeObjectState, re-resolving
+        entries through the current allocation state (an entry that now
+        aliases a tracked object becomes the new virtual object — and
+        forces its snapshot — or the materialized value)."""
+        new_entries: List[Optional[Node]] = []
+        changed = False
+        for entry in mapping.entries:
+            if entry is None or isinstance(entry, VirtualObjectNode):
+                new_entries.append(entry)
+                continue
+            value = self._state_value(entry, state, needed)
+            changed = changed or value is not entry
+            new_entries.append(value)
+        if not changed:
+            return mapping
+        duplicate = EscapeObjectStateNode(
+            lock_count=mapping.lock_count,
+            virtual_object=mapping.virtual_object)
+        self.effects.track_created(duplicate)
+        duplicate.entries.extend(new_entries)
+        return duplicate
 
     def _state_value(self, value: Optional[Node], state: PEAState,
                      needed: Set[VirtualObjectNode]) -> Optional[Node]:

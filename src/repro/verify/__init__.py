@@ -1,0 +1,19 @@
+"""Correctness tooling: the IR invariant verifier and the differential
+fuzzer.
+
+- :mod:`repro.verify.verifier` — :class:`GraphVerifier`, run after every
+  phase when ``CompilerConfig.verify_ir`` is set (always on under
+  pytest via the ``REPRO_VERIFY_IR`` environment variable).
+- :mod:`repro.verify.generator` — the random MJ program generator,
+  biased toward the control-flow/allocation shapes Partial Escape
+  Analysis transforms.
+- :mod:`repro.verify.fuzz` — the coverage-guided differential fuzzer
+  (``repro fuzz``): interpreter vs. legacy graph interpreter vs.
+  threaded-code plan backend.
+- :mod:`repro.verify.shrink` — delta-debugging shrinker producing
+  minimal reproducers for ``tests/corpus/``.
+"""
+
+from .verifier import GraphVerificationError, GraphVerifier, verify_graph
+
+__all__ = ["GraphVerificationError", "GraphVerifier", "verify_graph"]

@@ -1,7 +1,51 @@
 """Pytest configuration: make the shared harness importable from any
-test directory (see vm_harness.py for the actual helpers)."""
+test directory (see vm_harness.py for the actual helpers), force the
+full IR invariant verifier on for every compilation, and print the
+fuzz seed when a randomized test fails."""
 
 import os
 import sys
 
+# Every CompilerConfig built under pytest defaults to verify_ir=True:
+# the GraphVerifier runs after every phase of every compilation (see
+# src/repro/verify/verifier.py).  Must be set before repro.jit.options
+# is imported by a test module.
+os.environ.setdefault("REPRO_VERIFY_IR", "1")
+
 sys.path.insert(0, os.path.dirname(__file__))
+
+import pytest  # noqa: E402
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fuzz-seed", type=int, default=None,
+        help="pin the session seed for randomized/fuzz tests "
+             "(equivalent to FUZZ_SEED=<n> in the environment)")
+
+
+def pytest_configure(config):
+    seed = config.getoption("--fuzz-seed")
+    if seed is not None:
+        # Runs before test modules import fuzz_seed, so the pin wins.
+        os.environ["FUZZ_SEED"] = str(seed)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Attach the session fuzz seed to failures of randomized tests so
+    they can be reproduced with FUZZ_SEED=<seed> (see fuzz_seed.py)."""
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        try:
+            from fuzz_seed import SEED, seed_was_forced
+        except Exception:  # pragma: no cover - helper always importable
+            return
+        origin = "FUZZ_SEED (already pinned)" if seed_was_forced() \
+            else "this session's random seed"
+        report.sections.append((
+            "fuzz seed",
+            f"randomized tests ran with seed {SEED} ({origin}); "
+            f"reproduce with: FUZZ_SEED={SEED} python -m pytest "
+            f"{item.nodeid!r}"))

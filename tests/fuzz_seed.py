@@ -1,0 +1,29 @@
+"""One seed per test session for every randomized/fuzz test.
+
+``FUZZ_SEED=<int>`` pins it (reproducing a failure); otherwise a fresh
+random seed is drawn once per session.  tests/conftest.py prints the
+seed alongside any failing randomized test, so failures are always
+reproducible.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+_FORCED = "FUZZ_SEED" in os.environ
+
+SEED: int = int(os.environ["FUZZ_SEED"]) if _FORCED \
+    else random.SystemRandom().randrange(2 ** 32)
+
+
+def seed_was_forced() -> bool:
+    """True when the seed came from the FUZZ_SEED environment
+    variable."""
+    return _FORCED
+
+
+def hypothesis_seed(test):
+    """Decorator: pin a hypothesis test to the session seed."""
+    from hypothesis import seed
+    return seed(SEED)(test)

@@ -1,196 +1,7 @@
-"""Random MJ program generator for property-based differential testing.
+"""Back-compat shim: the program generator moved into the package
+(:mod:`repro.verify.generator`) so the ``repro fuzz`` CLI can use it.
+Tests keep importing it from here."""
 
-Generates well-typed, terminating programs that exercise exactly the
-constructs Partial Escape Analysis cares about: allocations, field
-stores/loads, linked virtual objects, conditional escapes into globals,
-loops, synchronized blocks, reference equality, and calls (inlining
-fodder).  Programs are guaranteed free of traps: divisions are guarded
-by construction, object-typed locals are always initialized, loops are
-counted.
-"""
-
-from __future__ import annotations
-
-from typing import List
-
-
-class ProgramGenerator:
-    """Drives a hypothesis ``data`` object to produce one program."""
-
-    INT_LOCALS = 3
-    OBJ_LOCALS = 2
-
-    def __init__(self, draw):
-        self.draw = draw  # draw(strategy) -> value
-        self._fresh = 0
-
-    # -- drawing helpers --------------------------------------------------
-
-    def _int(self, lo, hi):
-        import hypothesis.strategies as st
-        return self.draw(st.integers(min_value=lo, max_value=hi))
-
-    def _choice(self, options):
-        return options[self._int(0, len(options) - 1)]
-
-    def fresh_name(self, prefix):
-        self._fresh += 1
-        return f"{prefix}{self._fresh}"
-
-    # -- expressions ---------------------------------------------------------
-
-    def int_expr(self, depth=0) -> str:
-        kinds = ["literal", "local", "field"]
-        if depth < 2:
-            kinds += ["binary", "binary", "div"]
-        kind = self._choice(kinds)
-        if kind == "literal":
-            return str(self._int(-16, 16))
-        if kind == "local":
-            return f"x{self._int(0, self.INT_LOCALS - 1)}"
-        if kind == "field":
-            return (f"d{self._int(0, self.OBJ_LOCALS - 1)}"
-                    f".f{self._int(0, 1)}")
-        if kind == "div":
-            return (f"({self.int_expr(depth + 1)} / "
-                    f"(({self.int_expr(depth + 1)} & 7) + 1))")
-        op = self._choice(["+", "-", "*", "&", "|", "^"])
-        return (f"({self.int_expr(depth + 1)} {op} "
-                f"{self.int_expr(depth + 1)})")
-
-    def condition(self) -> str:
-        kind = self._choice(["cmp", "cmp", "refeq", "null", "global"])
-        if kind == "cmp":
-            op = self._choice(["<", "<=", ">", ">=", "==", "!="])
-            return f"{self.int_expr(1)} {op} {self.int_expr(1)}"
-        if kind == "refeq":
-            a = self._int(0, self.OBJ_LOCALS - 1)
-            b = self._int(0, self.OBJ_LOCALS - 1)
-            return f"d{a} == d{b}"
-        if kind == "null":
-            return f"d{self._int(0, self.OBJ_LOCALS - 1)}.link == null"
-        return "g0 != null"
-
-    # -- statements -------------------------------------------------------------
-
-    def statements(self, budget: int, depth: int,
-                   callable_helpers: List[str]) -> List[str]:
-        result: List[str] = []
-        while budget > 0:
-            kind = self._choice(
-                ["assign_int", "assign_int", "store_field", "store_field",
-                 "load_field", "rebind", "link", "escape", "global_int",
-                 "read_global", "if", "loop", "sync", "call"])
-            if kind in ("if", "loop", "sync") and depth >= 2:
-                kind = "assign_int"
-            if kind == "call" and not callable_helpers:
-                kind = "store_field"
-
-            if kind == "assign_int":
-                result.append(
-                    f"x{self._int(0, self.INT_LOCALS - 1)} = "
-                    f"{self.int_expr()};")
-                budget -= 1
-            elif kind == "store_field":
-                result.append(
-                    f"d{self._int(0, self.OBJ_LOCALS - 1)}"
-                    f".f{self._int(0, 1)} = {self.int_expr(1)};")
-                budget -= 1
-            elif kind == "load_field":
-                result.append(
-                    f"x{self._int(0, self.INT_LOCALS - 1)} = "
-                    f"d{self._int(0, self.OBJ_LOCALS - 1)}"
-                    f".f{self._int(0, 1)};")
-                budget -= 1
-            elif kind == "rebind":
-                result.append(
-                    f"d{self._int(0, self.OBJ_LOCALS - 1)} = new Data();")
-                budget -= 1
-            elif kind == "link":
-                target = self._choice(
-                    [f"d{self._int(0, self.OBJ_LOCALS - 1)}", "null"])
-                result.append(
-                    f"d{self._int(0, self.OBJ_LOCALS - 1)}.link = "
-                    f"{target};")
-                budget -= 1
-            elif kind == "escape":
-                result.append(
-                    f"g0 = d{self._int(0, self.OBJ_LOCALS - 1)};")
-                budget -= 1
-            elif kind == "global_int":
-                result.append(f"gi = {self.int_expr(1)};")
-                budget -= 1
-            elif kind == "read_global":
-                result.append(
-                    "if (g0 != null) { "
-                    f"x{self._int(0, self.INT_LOCALS - 1)} = g0.f0; }}")
-                budget -= 1
-            elif kind == "if":
-                then_body = self.statements(self._int(1, 3), depth + 1,
-                                            callable_helpers)
-                else_body = (self.statements(self._int(1, 2), depth + 1,
-                                             callable_helpers)
-                             if self._int(0, 1) else None)
-                text = (f"if ({self.condition()}) "
-                        f"{{ {' '.join(then_body)} }}")
-                if else_body is not None:
-                    text += f" else {{ {' '.join(else_body)} }}"
-                result.append(text)
-                budget -= 2
-            elif kind == "loop":
-                var = self.fresh_name("i")
-                body = self.statements(self._int(1, 3), depth + 1,
-                                       callable_helpers)
-                bound = self._int(1, 5)
-                result.append(
-                    f"for (int {var} = 0; {var} < {bound}; "
-                    f"{var} = {var} + 1) {{ {' '.join(body)} }}")
-                budget -= 3
-            elif kind == "sync":
-                body = self.statements(self._int(1, 2), depth + 1,
-                                       callable_helpers)
-                result.append(
-                    f"synchronized (d{self._int(0, self.OBJ_LOCALS - 1)})"
-                    f" {{ {' '.join(body)} }}")
-                budget -= 2
-            elif kind == "call":
-                helper = self._choice(callable_helpers)
-                result.append(
-                    f"x{self._int(0, self.INT_LOCALS - 1)} = {helper}("
-                    f"{self.int_expr(1)}, {self.int_expr(1)});")
-                budget -= 1
-        return result
-
-    def method_body(self, budget: int, callable_helpers) -> str:
-        lines = [
-            "int x0 = a;",
-            "int x1 = b;",
-            f"int x2 = {self._int(-8, 8)};",
-            "Data d0 = new Data();",
-            "Data d1 = new Data();",
-        ]
-        lines += self.statements(budget, 0, callable_helpers)
-        lines.append("return x0 + x1 * 3 + x2 + d0.f0 + d0.f1 "
-                     "+ d1.f0 + d1.f1;")
-        return "\n                ".join(lines)
-
-    def generate(self) -> str:
-        helper2 = self.method_body(self._int(2, 5), [])
-        helper1 = self.method_body(self._int(2, 6), ["h2"])
-        entry = self.method_body(self._int(4, 10), ["h1", "h2"])
-        return f"""
-            class Data {{ int f0; int f1; Data link; }}
-            class Main {{
-                static Data g0;
-                static int gi;
-                static int h2(int a, int b) {{
-                    {helper2}
-                }}
-                static int h1(int a, int b) {{
-                    {helper1}
-                }}
-                static int entry(int a, int b) {{
-                    {entry}
-                }}
-            }}
-        """
+from repro.verify.generator import (  # noqa: F401
+    MAGIC_VALUES, GeneratedProgram, ProgramGenerator, Stmt,
+    render_statements)

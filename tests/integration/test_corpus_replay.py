@@ -1,0 +1,58 @@
+"""Replay the persisted fuzz corpus.
+
+Every ``tests/corpus/*.jasm`` reproducer (seed entries and any shrunk
+failure the fuzzer ever wrote) is re-assembled and re-run under all
+three engines; results must match the recorded expectations and all
+differential invariants must hold.  This keeps old fuzz findings fixed
+forever and pins the interpreter's semantics for the seed programs.
+"""
+
+import glob
+import json
+import os
+
+import pytest
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "corpus")
+ENTRIES = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.jasm")))
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, f"no corpus entries in {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize(
+    "jasm_path", ENTRIES,
+    ids=[os.path.splitext(os.path.basename(p))[0] for p in ENTRIES])
+def test_corpus_entry_replays_clean(jasm_path):
+    from repro.verify.fuzz import replay_corpus_entry
+    failure = replay_corpus_entry(jasm_path)
+    assert failure is None, failure
+
+
+@pytest.mark.parametrize(
+    "jasm_path", ENTRIES,
+    ids=[os.path.splitext(os.path.basename(p))[0] for p in ENTRIES])
+def test_corpus_jasm_round_trips(jasm_path):
+    """to_asm(assemble(text)) is a fixpoint for every corpus entry."""
+    from repro.bytecode.asmtext import assemble, to_asm
+    with open(jasm_path) as handle:
+        text = handle.read()
+    reassembled = to_asm(assemble(text))
+    assert to_asm(assemble(reassembled)) == reassembled
+
+
+def test_corpus_sidecars_are_complete():
+    for jasm_path in ENTRIES:
+        meta_path = jasm_path[:-len(".jasm")] + ".json"
+        assert os.path.exists(meta_path), f"missing {meta_path}"
+        with open(meta_path) as handle:
+            meta = json.load(handle)
+        for key in ("category", "entry", "probe_calls", "expected",
+                    "source"):
+            assert key in meta, f"{meta_path} lacks {key!r}"
+        for key in ("results", "allocations", "monitor_enters",
+                    "monitor_exits", "g0", "gi"):
+            assert key in meta["expected"], \
+                f"{meta_path} expected lacks {key!r}"

@@ -14,6 +14,7 @@ from repro.bytecode import Interpreter
 from repro.jit import VM, CompilerConfig
 from repro.lang import compile_source
 
+from fuzz_seed import hypothesis_seed
 from program_generator import ProgramGenerator
 
 CONFIGS = (
@@ -50,12 +51,13 @@ def run_all(source, args):
     return outcomes
 
 
+@hypothesis_seed
 @_SETTINGS
 @given(data=st.data(),
        a=st.integers(min_value=-20, max_value=20),
        b=st.integers(min_value=-20, max_value=20))
 def test_differential_semantics(data, a, b):
-    source = ProgramGenerator(data.draw).generate()
+    source = ProgramGenerator.from_hypothesis(data.draw).generate()
     outcomes = run_all(source, (a, b))
     reference_result = outcomes["interp"][0]
     for name, (result, heap) in outcomes.items():
@@ -67,25 +69,28 @@ def test_differential_semantics(data, a, b):
         outcomes["no_ea"][1].allocations, source
 
 
+@hypothesis_seed
 @_SETTINGS
 @given(data=st.data())
 def test_compilation_never_crashes_and_graph_verifies(data):
-    source = ProgramGenerator(data.draw).generate()
+    source = ProgramGenerator.from_hypothesis(data.draw).generate()
     program = compile_source(source)
     from repro.jit import Compiler
+    from repro.verify import verify_graph
     compiler = Compiler(program, CompilerConfig.partial_escape())
     for name in ("entry", "h1", "h2"):
         result = compiler.compile(program.method(f"Main.{name}"))
-        result.graph.verify()
+        verify_graph(result.graph)
 
 
+@hypothesis_seed
 @_SETTINGS
 @given(data=st.data(),
        a=st.integers(min_value=-10, max_value=10))
 def test_equi_escape_never_beats_pea_on_allocations(data, a):
     """Flow-sensitivity strictly refines the flow-insensitive analysis:
     PEA removes at least the allocations equi-escape removes."""
-    source = ProgramGenerator(data.draw).generate()
+    source = ProgramGenerator.from_hypothesis(data.draw).generate()
     outcomes = run_all(source, (a, 1 - a))
     assert outcomes["pea"][1].allocations <= \
         outcomes["equi"][1].allocations, source

@@ -10,6 +10,8 @@ from repro.bytecode import Interpreter
 from repro.jit import VM, CompilerConfig
 from repro.lang import compile_source
 
+from fuzz_seed import hypothesis_seed
+
 TEMPLATE = """
 class Rec {{
     int a; int b; Rec link;
@@ -49,6 +51,7 @@ CONDITIONS = [
 ]
 
 
+@hypothesis_seed
 @settings(max_examples=12, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(pattern=st.integers(0, len(CONDITIONS) - 1),

@@ -1,0 +1,226 @@
+"""Property-based tests for PEA state merging (Figure 6).
+
+The merge operator is a lattice join over per-object states; three
+algebraic properties must hold for *any* pair of predecessor states:
+
+- **idempotence** — merging a state with itself changes nothing: every
+  object keeps its virtuality, entries and lock count;
+- **commutativity** — predecessor order cannot affect *what* survives
+  the merge (which objects, virtual or materialized, which aliases);
+  only phi input order may differ;
+- **materialized-wins** — virtual ⊔ materialized = materialized: one
+  escaped predecessor forces the merged object to be materialized,
+  regardless of order.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.bytecode import JField, Program
+from repro.ir import Graph, nodes as N
+from repro.pea import Effects, MergeProcessor, ObjectState, PEAState
+from repro.pea.virtualization import PEATool
+
+from fuzz_seed import hypothesis_seed
+
+_SETTINGS = settings(
+    max_examples=60, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+
+def build_setup():
+    """Fresh program + diamond graph + merge machinery (a plain
+    function, not a fixture, so hypothesis can call it per example)."""
+    program = Program()
+    box = program.define_class("Box")
+    box.add_field(JField("v", "int"))
+    box.add_field(JField("w", "int"))
+
+    graph = Graph()
+    start = graph.add(N.StartNode())
+    graph.start = start
+    if_node = graph.add(N.IfNode(condition=graph.constant(1)))
+    start.next = if_node
+    left = graph.add(N.BeginNode())
+    right = graph.add(N.BeginNode())
+    if_node.true_successor = left
+    if_node.false_successor = right
+    end_left = graph.add(N.EndNode())
+    end_right = graph.add(N.EndNode())
+    left.next = end_left
+    right.next = end_right
+    merge = graph.add(N.MergeNode())
+    merge.add_end(end_left)
+    merge.add_end(end_right)
+    ret = graph.add(N.ReturnNode())
+    merge.next = ret
+
+    effects = Effects(graph)
+    tool = PEATool(program, effects)
+    return graph, merge, end_left, end_right, MergeProcessor(tool), tool
+
+
+def draw_spec(draw):
+    """A symbolic description of one merge input pair: per object, the
+    left/right status and field values."""
+    object_count = draw(st.integers(min_value=1, max_value=3))
+    spec = []
+    for _ in range(object_count):
+        status = draw(st.sampled_from(
+            ["both-same", "both-diff", "left-materialized",
+             "right-materialized", "both-materialized", "left-only"]))
+        spec.append({
+            "status": status,
+            "left_values": [draw(st.integers(-8, 8)) for _ in range(2)],
+            "right_values": [draw(st.integers(-8, 8)) for _ in range(2)],
+            "lock_count": draw(st.integers(0, 1)),
+            "alias": draw(st.booleans()),
+        })
+    return spec
+
+
+def build_states(graph, spec):
+    """Materialize the symbolic spec into two fresh PEAStates sharing
+    node identities (virtuals, constants, carriers)."""
+    left_state, right_state = PEAState(), PEAState()
+    objects = []
+    for index, entry in enumerate(spec):
+        virtual = N.VirtualInstanceNode("Box", ["v", "w"])
+        graph.add(virtual)
+        carrier = graph.add(N.ParameterNode(index))
+        objects.append((virtual, carrier, entry))
+        status = entry["status"]
+        left_values = [graph.constant(v) for v in entry["left_values"]]
+        right_values = [graph.constant(v)
+                        for v in (entry["left_values"]
+                                  if status == "both-same"
+                                  else entry["right_values"])]
+        lock = entry["lock_count"]
+        if status == "left-materialized":
+            left_obj = ObjectState(
+                virtual, None,
+                materialized_value=graph.add(N.NewInstanceNode("Box")))
+            right_obj = ObjectState(virtual, right_values,
+                                    lock_count=lock)
+        elif status == "right-materialized":
+            left_obj = ObjectState(virtual, left_values,
+                                   lock_count=lock)
+            right_obj = ObjectState(
+                virtual, None,
+                materialized_value=graph.add(N.NewInstanceNode("Box")))
+        elif status == "both-materialized":
+            left_obj = ObjectState(
+                virtual, None,
+                materialized_value=graph.add(N.NewInstanceNode("Box")))
+            right_obj = ObjectState(
+                virtual, None,
+                materialized_value=graph.add(N.NewInstanceNode("Box")))
+        elif status == "left-only":
+            left_obj = ObjectState(virtual, left_values,
+                                   lock_count=lock)
+            right_obj = None
+        else:
+            left_obj = ObjectState(virtual, left_values,
+                                   lock_count=lock)
+            right_obj = ObjectState(virtual, right_values,
+                                    lock_count=lock)
+        left_state.add_object(left_obj)
+        if right_obj is not None:
+            right_state.add_object(right_obj)
+            if entry["alias"]:
+                left_state.add_alias(carrier, virtual)
+                right_state.add_alias(carrier, virtual)
+    return left_state, right_state, objects
+
+
+def entry_summary(value):
+    """Order-insensitive summary of one merged field entry."""
+    if isinstance(value, N.PhiNode):
+        return ("phi", tuple(sorted(
+            getattr(v, "value", repr(v)) for v in value.values)))
+    if isinstance(value, N.ConstantNode):
+        return ("const", value.value)
+    return ("node", type(value).__name__)
+
+
+def merged_summary(merged, objects):
+    """What the merge decided, per object, independent of predecessor
+    order: presence, virtuality, entry summaries, lock, alias."""
+    summary = {}
+    for index, (virtual, carrier, _spec) in enumerate(objects):
+        state = merged.object_states.get(virtual)
+        if state is None:
+            summary[index] = None
+        elif state.is_virtual:
+            summary[index] = ("virtual",
+                              tuple(entry_summary(e)
+                                    for e in state.entries),
+                              state.lock_count,
+                              merged.get_alias(carrier) is virtual)
+        else:
+            summary[index] = ("materialized",
+                              merged.get_alias(carrier) is virtual)
+    return summary
+
+
+@hypothesis_seed
+@_SETTINGS
+@given(data=st.data())
+def test_merge_idempotent(data):
+    """state ⊔ state = state (up to node identity)."""
+    graph, merge, el, er, processor, tool = build_setup()
+    spec = draw_spec(data.draw)
+    for entry in spec:  # self-merge: both sides identical by design
+        entry["status"] = "both-same"
+    left_state, right_state, objects = build_states(graph, spec)
+    merged = processor.merge(merge, [left_state, right_state], [el, er])
+    assert tool.materializations == 0
+    for virtual, carrier, entry in objects:
+        state = merged.get_state(virtual)
+        assert state is not None and state.is_virtual
+        assert [e.value for e in state.entries] == entry["left_values"]
+        assert state.lock_count == entry["lock_count"]
+        if entry["alias"]:
+            assert merged.get_alias(carrier) is virtual
+
+
+@hypothesis_seed
+@_SETTINGS
+@given(data=st.data())
+def test_merge_commutative(data):
+    """Swapping predecessor order never changes which objects survive,
+    their virtuality, their (order-normalized) entries or aliases."""
+    graph, merge, el, er, processor, tool = build_setup()
+    spec = draw_spec(data.draw)
+    left_a, right_a, objects_a = build_states(graph, spec)
+    forward = processor.merge(merge, [left_a, right_a], [el, er])
+    forward_summary = merged_summary(forward, objects_a)
+
+    graph2, merge2, el2, er2, processor2, tool2 = build_setup()
+    left_b, right_b, objects_b = build_states(graph2, spec)
+    backward = processor2.merge(merge2, [right_b, left_b], [el2, er2])
+    backward_summary = merged_summary(backward, objects_b)
+
+    assert forward_summary == backward_summary
+    assert tool.materializations == tool2.materializations
+
+
+@hypothesis_seed
+@_SETTINGS
+@given(data=st.data(),
+       materialized_side=st.sampled_from(["left-materialized",
+                                          "right-materialized"]))
+def test_materialized_wins(data, materialized_side):
+    """virtual ⊔ materialized = materialized (the lattice absorbs
+    escapes), whichever side escaped."""
+    graph, merge, el, er, processor, tool = build_setup()
+    spec = draw_spec(data.draw)
+    spec[0]["status"] = materialized_side
+    left_state, right_state, objects = build_states(graph, spec)
+    merged = processor.merge(merge, [left_state, right_state], [el, er])
+    virtual = objects[0][0]
+    state = merged.get_state(virtual)
+    assert state is not None
+    assert not state.is_virtual
+    # The virtual side had to be materialized on its incoming branch.
+    assert tool.materializations >= 1

@@ -1,0 +1,148 @@
+"""Rematerialization of *nested* virtual objects at deoptimization.
+
+When a cold path escapes an object whose field holds another virtual
+object (or a cycle of them), the deoptimizer must allocate the whole
+group and fix up the cross-references (allocate-then-fill, Section 5.5).
+Both execution backends — the legacy GraphInterpreter and the
+threaded-code plan — must produce the interpreter's exact heap shape.
+"""
+
+import pytest
+
+from repro.bytecode import Interpreter
+from repro.jit import VM, CompilerConfig
+
+from vm_harness import compile_source
+
+NESTED_SOURCE = """
+    class Inner { int v; }
+    class Outer { int tag; Inner inner; }
+    class Main {
+        static Outer sink;
+        static int work(int i) {
+            Inner inner = new Inner();
+            inner.v = i * 5;
+            Outer outer = new Outer();
+            outer.tag = i;
+            outer.inner = inner;
+            if (i == 31337) {
+                sink = outer;
+                return outer.inner.v + 1;
+            }
+            return outer.tag + outer.inner.v;
+        }
+        static int run(int from, int n) {
+            int acc = 0;
+            for (int i = 0; i < n; i = i + 1) {
+                acc = acc + work(from + i);
+            }
+            return acc;
+        }
+    }
+"""
+
+CYCLIC_SOURCE = """
+    class Node { int v; Node next; }
+    class Main {
+        static Node sink;
+        static int work(int i) {
+            Node a = new Node();
+            Node b = new Node();
+            a.v = i;
+            b.v = i * 2;
+            a.next = b;
+            b.next = a;
+            if (i == 31337) {
+                sink = a;
+                return a.next.v;
+            }
+            return a.v + b.v;
+        }
+        static int run(int from, int n) {
+            int acc = 0;
+            for (int i = 0; i < n; i = i + 1) {
+                acc = acc + work(from + i);
+            }
+            return acc;
+        }
+    }
+"""
+
+BACKENDS = ("plan", "legacy")
+
+
+def warmed_vm(source, backend):
+    program = compile_source(source)
+    vm = VM(program, CompilerConfig.partial_escape(
+        execution_backend=backend))
+    for _ in range(40):
+        vm.call("Main.run", 0, 60)
+        program.reset_statics()
+    return program, vm
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_nested_virtual_rematerialization(backend):
+    program, vm = warmed_vm(NESTED_SOURCE, backend)
+    # The probe window crosses the magic value: the speculative branch
+    # fires, deopts, and the Outer+Inner pair is rematerialized.
+    result = vm.call("Main.run", 31330, 10)
+    assert vm.exec_stats.deopts >= 1
+
+    reference = compile_source(NESTED_SOURCE)
+    interp = Interpreter(reference)
+    assert result == interp.call("Main.run", 31330, 10)
+
+    sink = program.get_static("Main", "sink")
+    expected = reference.get_static("Main", "sink")
+    assert sink is not None and expected is not None
+    assert sink.fields["tag"] == expected.fields["tag"] == 31337
+    # The nested object came back as a real, correctly-filled Inner.
+    inner = sink.fields["inner"]
+    assert inner is not None
+    assert inner.class_name == "Inner"
+    assert inner.fields["v"] == expected.fields["inner"].fields["v"] \
+        == 31337 * 5
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cyclic_virtual_rematerialization(backend):
+    program, vm = warmed_vm(CYCLIC_SOURCE, backend)
+    result = vm.call("Main.run", 31330, 10)
+    assert vm.exec_stats.deopts >= 1
+
+    reference = compile_source(CYCLIC_SOURCE)
+    interp = Interpreter(reference)
+    assert result == interp.call("Main.run", 31330, 10)
+
+    sink = program.get_static("Main", "sink")
+    assert sink is not None
+    b = sink.fields["next"]
+    assert b is not None and b is not sink
+    # The cycle is closed: a.next.next is a again.
+    assert b.fields["next"] is sink
+    assert sink.fields["v"] == 31337
+    assert b.fields["v"] == 31337 * 2
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_nested_remat_does_not_overallocate(backend):
+    """Until the cold branch fires, neither Inner nor Outer is ever
+    allocated; the deopting call allocates at most what the interpreter
+    would."""
+    program, vm = warmed_vm(NESTED_SOURCE, backend)
+    before = vm.heap_snapshot()
+    vm.call("Main.run", 0, 50)  # steady state: fully virtualized
+    steady = vm.heap_snapshot().delta(before)
+    assert steady.allocations == 0
+
+    reference = compile_source(NESTED_SOURCE)
+    interp = Interpreter(reference)
+    ibefore = interp.heap.stats.copy()
+    interp.call("Main.run", 31330, 10)
+    interp_delta = interp.heap.stats.delta(ibefore)
+
+    before = vm.heap_snapshot()
+    vm.call("Main.run", 31330, 10)
+    deopt_delta = vm.heap_snapshot().delta(before)
+    assert deopt_delta.allocations <= interp_delta.allocations

@@ -91,3 +91,11 @@ def test_compile_timings(program_file, capsys):
     out = capsys.readouterr().out
     assert "partial-escape-analysis" in out
     assert "ms" in out
+
+
+def test_fuzz_smoke(capsys, tmp_path):
+    assert main(["fuzz", "--programs", "3", "--seed", "7",
+                 "--corpus-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "ran 3 programs" in out
+    assert "0 failure(s)" in out
