@@ -23,7 +23,7 @@ import sys
 import time
 from typing import List, Optional, Sequence
 
-from ..jit import CompilerConfig
+from ..jit import CompilationCache, CompilerConfig
 from .harness import Comparison, run_suite
 from .profiling import print_profile, profiled
 from .reporting import num, pct, render_table
@@ -76,7 +76,8 @@ HEADERS = ["benchmark", "KB/it", "KB/it+", "dKB",
 def generate(suites: Sequence[str], quick: bool = False,
              locks: bool = False, out=sys.stdout, jobs: int = 1,
              backend: str = "plan", json_path: Optional[str] = None,
-             profile: bool = False) -> dict:
+             profile: bool = False,
+             cache: Optional[CompilationCache] = None) -> dict:
     """Run the selected suites and print Table 1; returns the raw
     comparisons keyed by suite for programmatic use."""
     if profile:
@@ -98,7 +99,8 @@ def generate(suites: Sequence[str], quick: bool = False,
         started = time.perf_counter()
         with profiled(profiler):
             comparisons = run_suite(workloads, baseline, optimized,
-                                    jobs=jobs, histogram=histogram)
+                                    jobs=jobs, histogram=histogram,
+                                    cache=cache)
         wall_clock[suite_name] = time.perf_counter() - started
         results[suite_name] = comparisons
         shown = ([w.name for w in DACAPO_SHOWN]
@@ -122,25 +124,57 @@ def generate(suites: Sequence[str], quick: bool = False,
                                lock_rows), file=out)
     if profile:
         print_profile(profiler, histogram, out=out)
+        _print_compile_seconds(results, out)
+    if cache is not None:
+        stats = cache.stats
+        elided = sum(m.warmup_iterations_elided
+                     for cs in results.values() for c in cs
+                     for m in (c.without, c.with_pea))
+        print(f"\ncache: {stats.hits} hits, {stats.misses} misses, "
+              f"{stats.disk_hits} from disk, {stats.evictions} evicted, "
+              f"{elided} warm-up iterations elided", file=out)
     if json_path:
-        _write_json(json_path, results, wall_clock, jobs, backend, quick)
+        _write_json(json_path, results, wall_clock, jobs, backend, quick,
+                    cache)
     return results
 
 
+def _print_compile_seconds(results: dict, out) -> None:
+    """Per-phase compile-time breakdown (satellite of the compilation
+    cache work: Compiler aggregates instead of dropping timings)."""
+    phases: dict = {}
+    total = 0.0
+    for comparisons in results.values():
+        for c in comparisons:
+            for m in (c.without, c.with_pea):
+                total += m.compile_seconds
+                for phase, seconds in m.compile_phase_seconds.items():
+                    phases[phase] = phases.get(phase, 0.0) + seconds
+    print(f"\n-- compile time: {total:.3f}s total --", file=out)
+    rows = [[phase, f"{seconds:.3f}"]
+            for phase, seconds in
+            sorted(phases.items(), key=lambda kv: -kv[1])]
+    print(render_table(["phase", "seconds"], rows), file=out)
+
+
 def _write_json(path: str, results: dict, wall_clock: dict, jobs: int,
-                backend: str, quick: bool) -> None:
-    """Per-workload cycles/iteration + harness wall-clock, for CI
-    tracking (BENCH_table1.json)."""
+                backend: str, quick: bool,
+                cache: Optional[CompilationCache] = None) -> None:
+    """Benchmark metrics for CI tracking (BENCH_table1.json).
+
+    ``suites`` holds only deterministic, simulated metrics — identical
+    across machines, cache modes and cold/warm runs, so CI can diff it
+    byte-for-byte.  Wall-clock and compile-time measurements live in the
+    separate ``timing`` section."""
     payload = {
         "backend": backend,
         "jobs": jobs,
         "quick": quick,
         "suites": {},
+        "timing": {"suites": {}},
     }
     for suite_name, comparisons in results.items():
         payload["suites"][suite_name] = {
-            "harness_wall_clock_seconds": round(
-                wall_clock[suite_name], 3),
             "workloads": {
                 c.workload.name: {
                     "checksum": c.without.checksum,
@@ -148,11 +182,51 @@ def _write_json(path: str, results: dict, wall_clock: dict, jobs: int,
                         c.without.cycles_per_iteration,
                     "cycles_per_iteration_pea":
                         c.with_pea.cycles_per_iteration,
+                    "kb_per_iteration_no_ea": c.without.kb_per_iteration,
+                    "kb_per_iteration_pea": c.with_pea.kb_per_iteration,
+                    "allocations_per_iteration_no_ea":
+                        c.without.allocations_per_iteration,
+                    "allocations_per_iteration_pea":
+                        c.with_pea.allocations_per_iteration,
+                    "monitor_ops_per_iteration_no_ea":
+                        c.without.monitor_ops_per_iteration,
+                    "monitor_ops_per_iteration_pea":
+                        c.with_pea.monitor_ops_per_iteration,
+                    "compiled_nodes_no_ea": c.without.compiled_nodes,
+                    "compiled_nodes_pea": c.with_pea.compiled_nodes,
                     "deopts_no_ea": c.without.deopts,
                     "deopts_pea": c.with_pea.deopts,
                 } for c in comparisons
             },
         }
+        phase_seconds: dict = {}
+        compile_seconds = 0.0
+        warmup_elided = 0
+        cache_hits = 0
+        for c in comparisons:
+            for m in (c.without, c.with_pea):
+                compile_seconds += m.compile_seconds
+                warmup_elided += m.warmup_iterations_elided
+                cache_hits += m.cache_hits
+                for phase, seconds in m.compile_phase_seconds.items():
+                    phase_seconds[phase] = \
+                        phase_seconds.get(phase, 0.0) + seconds
+        payload["timing"]["suites"][suite_name] = {
+            "harness_wall_clock_seconds": round(
+                wall_clock[suite_name], 3),
+            "compile_seconds": {
+                "total": round(compile_seconds, 3),
+                "phases": {phase: round(seconds, 3)
+                           for phase, seconds in phase_seconds.items()},
+            },
+            "warmup_iterations_elided": warmup_elided,
+            "cache_hits": cache_hits,
+        }
+    if cache is not None:
+        stats = cache.stats.snapshot()
+        payload["timing"]["cache"] = {
+            name: round(value, 3) if isinstance(value, float) else value
+            for name, value in stats.items()}
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -176,11 +250,23 @@ def main(argv=None):
     parser.add_argument("--profile", action="store_true",
                         help="cProfile top-20 + per-node-kind execution "
                              "histogram (forces --jobs 1)")
+    parser.add_argument("--cache", dest="cache", action="store_true",
+                        default=True,
+                        help="share compiled graphs across VMs "
+                             "(default)")
+    parser.add_argument("--no-cache", dest="cache", action="store_false",
+                        help="compile every method from scratch")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="persist the compilation cache here so "
+                             "later runs start warm (implies --cache)")
     args = parser.parse_args(argv)
     suites = list(SUITES) if args.suite == "all" else [args.suite]
+    cache = None
+    if args.cache or args.cache_dir:
+        cache = CompilationCache(args.cache_dir)
     generate(suites, quick=args.quick, locks=args.locks, jobs=args.jobs,
              backend=args.backend, json_path=args.json,
-             profile=args.profile)
+             profile=args.profile, cache=cache)
 
 
 if __name__ == "__main__":

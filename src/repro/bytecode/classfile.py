@@ -9,10 +9,11 @@ object header plus one word per instance field.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-from .instructions import Instruction, MethodRef
+from .instructions import FieldRef, Instruction, MethodRef
 
 #: Size in bytes of an object header (mark word + class pointer).
 OBJECT_HEADER_BYTES = 16
@@ -86,8 +87,31 @@ class JMethod:
             raise ValueError(f"method {self.name} has no holder class")
         return MethodRef(self.holder.name, self.name, self.arg_count)
 
+    def content_key(self) -> tuple:
+        """A canonical, hashable description of this method's declared
+        content — everything the compiler can observe about it.  Native
+        implementations are opaque to the compiler, so only their
+        presence and simulated cost participate."""
+        return (
+            self.name, tuple(self.param_types), self.return_type,
+            self.max_locals, self.is_static, self.is_synchronized,
+            self.is_native, self.native_impl is not None,
+            self.native_cycle_cost,
+            tuple(_instruction_key(insn) for insn in self.code),
+        )
+
     def __repr__(self):
         return f"<JMethod {self.qualified_name}/{self.arg_count}>"
+
+
+def _instruction_key(insn: Instruction) -> tuple:
+    operand = insn.operand
+    if isinstance(operand, MethodRef):
+        operand = ("M", operand.class_name, operand.method_name,
+                   operand.arg_count)
+    elif isinstance(operand, FieldRef):
+        operand = ("F", operand.class_name, operand.field_name)
+    return (insn.op.value, operand)
 
 
 @dataclass(eq=False)
@@ -147,6 +171,8 @@ class Program:
         self._fields_list_cache: Dict[str, List[JField]] = {}
         self._size_cache: Dict[str, int] = {}
         self._defaults_cache: Dict[str, Dict[str, Any]] = {}
+        #: Content hash for the compilation cache (lazily computed).
+        self._content_fingerprint: Optional[str] = None
         self.add_class(JClass(OBJECT_CLASS))
 
     # -- construction ---------------------------------------------------
@@ -166,6 +192,30 @@ class Program:
         self._fields_list_cache.clear()
         self._size_cache.clear()
         self._defaults_cache.clear()
+        self._content_fingerprint = None
+
+    def content_fingerprint(self) -> str:
+        """A stable hash of every declaration the compiler can observe:
+        class hierarchy, field layouts and method bytecode.  Programs
+        with equal fingerprints compile identically under the same
+        configuration and profile facts — the program half of the
+        compilation-cache key (see :mod:`repro.jit.cache`)."""
+        cached = self._content_fingerprint
+        if cached is not None:
+            return cached
+        description = []
+        for name in sorted(self.classes):
+            jclass = self.classes[name]
+            description.append((
+                name, jclass.superclass_name,
+                tuple((f.name, f.type_name, f.is_static, repr(f.default))
+                      for f in jclass.fields.values()),
+                tuple(m.content_key() for m in jclass.methods.values()),
+            ))
+        digest = hashlib.sha256(
+            repr(description).encode("utf-8")).hexdigest()
+        self._content_fingerprint = digest
+        return digest
 
     def define_class(self, name, superclass_name=OBJECT_CLASS) -> JClass:
         """Create, register and return an empty class."""

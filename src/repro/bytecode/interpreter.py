@@ -120,10 +120,35 @@ class Profile:
         ((class_name, count),) = table.items()
         return class_name if count >= min_samples else None
 
-    def taken_probability(self, method: JMethod, bci: int) -> float:
+    def branch_counts(self, method: JMethod, bci: int):
+        """``(taken, not_taken)`` sample counts for one branch site."""
         key = (method, bci)
-        taken = self.branch_taken.get(key, 0)
-        not_taken = self.branch_not_taken.get(key, 0)
+        return (self.branch_taken.get(key, 0),
+                self.branch_not_taken.get(key, 0))
+
+    def branch_outcome(self, method: JMethod, bci: int,
+                       min_samples: int):
+        """The branch-speculation decision for one site: ``True`` when
+        the branch was always taken, ``False`` when never taken, else
+        ``None`` (under-sampled or both sides seen).
+
+        The compiler speculates on branches only through this
+        decision-level query (plus :meth:`taken_probability` for
+        display-only edge probabilities), so the compilation cache can
+        record the *decisions* a compilation consumed rather than raw
+        counters — decisions stay stable as counts grow, raw counters do
+        not."""
+        taken, not_taken = self.branch_counts(method, bci)
+        if taken + not_taken < min_samples:
+            return None
+        if taken == 0:
+            return False
+        if not_taken == 0:
+            return True
+        return None
+
+    def taken_probability(self, method: JMethod, bci: int) -> float:
+        taken, not_taken = self.branch_counts(method, bci)
         total = taken + not_taken
         return 0.5 if total == 0 else taken / total
 

@@ -6,8 +6,13 @@ Subcommands::
     python -m repro compile FILE --method Main.run [--dump-ir] [--dot F]
     python -m repro disasm FILE
     python -m repro fuzz --programs 200 --seed 1234 [--corpus-dir D]
+    python -m repro cache stats|clear [--cache-dir D]
     python -m repro table1 [...]        (delegates to benchsuite.table1)
     python -m repro comparison [...]    (delegates to .comparison)
+
+``run`` and ``fuzz`` accept ``--cache/--no-cache`` (share compiled
+graphs across VMs; on by default for fuzz) and ``--cache-dir DIR``
+(persist the cache on disk so later runs start warm).
 """
 
 from __future__ import annotations
@@ -18,7 +23,8 @@ import sys
 from .bytecode import Interpreter, disassemble_program
 from .frontend import build_graph
 from .ir import dump_graph, to_dot
-from .jit import VM, Compiler, CompilerConfig
+from .jit import VM, CompilationCache, Compiler, CompilerConfig, \
+    default_cache_dir
 from .lang import compile_source
 
 CONFIGS = {
@@ -34,6 +40,28 @@ def _load(path: str):
         return compile_source(handle.read())
 
 
+def _add_cache_flags(parser, default: bool) -> None:
+    parser.add_argument("--cache", dest="cache", action="store_true",
+                        default=default,
+                        help="share compiled graphs across VMs"
+                             + (" (default)" if default else ""))
+    parser.add_argument("--no-cache", dest="cache", action="store_false",
+                        help="disable the compilation cache")
+    parser.add_argument("--cache-dir",
+                        help="persist the cache under this directory "
+                             "(implies --cache)")
+
+
+def _make_cache(args):
+    """A CompilationCache per the --cache/--no-cache/--cache-dir flags,
+    or None when caching is off."""
+    if getattr(args, "cache_dir", None):
+        return CompilationCache(args.cache_dir)
+    if getattr(args, "cache", False):
+        return CompilationCache()
+    return None
+
+
 def cmd_run(args) -> int:
     program = _load(args.file)
     call_args = [int(a) for a in args.args]
@@ -43,7 +71,8 @@ def cmd_run(args) -> int:
         stats = interp.heap.stats
         cycles = ""
     else:
-        vm = VM(program, CONFIGS[args.config]())
+        cache = _make_cache(args)
+        vm = VM(program, CONFIGS[args.config](), cache=cache)
         for _ in range(args.warmup):
             vm.call(args.entry, *call_args)
             program.reset_statics()
@@ -52,6 +81,9 @@ def cmd_run(args) -> int:
         result = vm.call(args.entry, *call_args)
         stats = vm.heap_snapshot().delta(heap_before)
         cycles = f"  cycles={vm.cycles_snapshot() - cycles_before:,.0f}"
+        if cache is not None:
+            s = cache.stats
+            cycles += f"  cache={s.hits}h/{s.misses}m"
     print(f"result: {result}")
     print(f"allocations={stats.allocations}  "
           f"bytes={stats.allocated_bytes}  "
@@ -102,18 +134,40 @@ def cmd_fuzz(args) -> int:
     if args.verify_ir:
         os.environ["REPRO_VERIFY_IR"] = "1"
     from .verify.fuzz import fuzz
+    cache = _make_cache(args)
     report = fuzz(programs=args.programs, seed=args.seed,
                   corpus_dir=args.corpus_dir,
-                  shrink=not args.no_shrink, log=print)
+                  shrink=not args.no_shrink, log=print,
+                  cache=cache)
     print(f"ran {report.programs_run} programs, "
           f"{len(report.coverage)} coverage keys "
           f"({report.coverage_adds} coverage-adding programs), "
           f"{len(report.failures)} failure(s)")
+    if cache is not None:
+        s = cache.stats
+        print(f"cache: {s.hits} hits, {s.misses} misses, "
+              f"{s.validation_failures} stale, {s.evictions} evicted")
     for failure in report.failures:
         reproducer = failure.reproducer()
         print(f"  [{failure.category}] {failure.detail} "
               f"({reproducer.statement_count()} statements)")
     return 1 if report.failures else 0
+
+
+def cmd_cache(args) -> int:
+    from .jit.cache import clear_disk, disk_stats
+    cache_dir = args.cache_dir or default_cache_dir()
+    if args.action == "stats":
+        summary = disk_stats(cache_dir)
+        print(f"cache directory: {cache_dir}")
+        print(f"graphs:          {summary['graph_files']} entries, "
+              f"{summary['graph_bytes']:,} bytes")
+        print(f"harness records: {summary['harness_files']} entries, "
+              f"{summary['harness_bytes']:,} bytes")
+    else:
+        removed = clear_disk(cache_dir)
+        print(f"removed {removed} cached file(s) from {cache_dir}")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -139,6 +193,7 @@ def main(argv=None) -> int:
     run_parser.add_argument("--config", choices=sorted(CONFIGS),
                             default="pea")
     run_parser.add_argument("--warmup", type=int, default=30)
+    _add_cache_flags(run_parser, default=False)
     run_parser.set_defaults(func=cmd_run)
 
     compile_parser = subparsers.add_parser(
@@ -177,7 +232,17 @@ def main(argv=None) -> int:
                              default=True,
                              help="run the full IR verifier after "
                                   "every phase (default on)")
+    _add_cache_flags(fuzz_parser, default=True)
     fuzz_parser.set_defaults(func=cmd_fuzz)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear the on-disk compilation cache")
+    cache_parser.add_argument("action", choices=["stats", "clear"])
+    cache_parser.add_argument("--cache-dir",
+                              help="cache directory (default: "
+                                   "$REPRO_CACHE_DIR or "
+                                   "~/.cache/repro-pea)")
+    cache_parser.set_defaults(func=cmd_cache)
 
     for name, module in (("table1", "table1"),
                          ("comparison", "comparison")):

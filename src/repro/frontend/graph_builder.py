@@ -381,17 +381,14 @@ class GraphBuilder:
         "impossible" path (Section 2's optimistic assumptions)."""
         if not self.speculate_branches:
             return False
-        key = (self.method, bci)
-        taken = self.profile.branch_taken.get(key, 0)
-        not_taken = self.profile.branch_not_taken.get(key, 0)
-        if taken + not_taken < self.speculation_min_samples:
+        outcome = self.profile.branch_outcome(
+            self.method, bci, self.speculation_min_samples)
+        if outcome is None:
             return False
-        if taken == 0:
-            survivor, condition_true = fall_block, not taken_is_true
-        elif not_taken == 0:
+        if outcome:
             survivor, condition_true = taken_block, taken_is_true
         else:
-            return False
+            survivor, condition_true = fall_block, not taken_is_true
         state = self._make_state(bci, frame, stack_before)
         guard = FixedGuardNode("unreached_branch",
                                negated=not condition_true,

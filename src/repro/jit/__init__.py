@@ -1,8 +1,10 @@
 """The tiered JIT virtual machine."""
 
+from .cache import CacheStats, CompilationCache, default_cache_dir
 from .compiler import CompilationResult, Compiler
 from .options import CompilerConfig, EscapeAnalysisKind
 from .vm import VM
 
-__all__ = ["CompilationResult", "Compiler", "CompilerConfig",
-           "EscapeAnalysisKind", "VM"]
+__all__ = ["CacheStats", "CompilationCache", "CompilationResult",
+           "Compiler", "CompilerConfig", "EscapeAnalysisKind", "VM",
+           "default_cache_dir"]

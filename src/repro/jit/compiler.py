@@ -3,12 +3,21 @@
 Mirrors Graal's structure: graph building, inlining, canonicalization and
 global value numbering, then (optionally) one of the escape analyses,
 then cleanup.
+
+When given a :class:`~repro.jit.cache.CompilationCache`, the compiler
+becomes memoizing: it records every profile fact the pipeline consumes
+(through a :class:`~repro.jit.cache.RecordingProfile`) and stores the
+optimized graph under a content-addressed key; later compilations of the
+same method under the same configuration — from this compiler or any
+other sharing the cache — reuse the stored graph when the recorded facts
+still hold against their own profile.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from ..bytecode.classfile import JMethod, Program
 from ..bytecode.interpreter import Profile
@@ -22,6 +31,7 @@ from ..opt.phase import PhasePlan
 from ..pea.equi_escape import EquiEscapePhase
 from ..pea.partial_escape import PartialEscapePhase, PEAResult
 from ..runtime.plan import ExecutionPlan, PlanError
+from .cache import CacheEntry, CompilationCache, RecordingProfile
 from .options import CompilerConfig, EscapeAnalysisKind
 
 
@@ -36,22 +46,59 @@ class CompilationResult:
     #: builder does not support (the VM then falls back to the
     #: GraphInterpreter for this method).
     plan: Optional[ExecutionPlan] = None
+    #: Cache entry this result came from / was stored under, so deopt
+    #: invalidation can evict it.  ``None`` when caching is off.
+    cache_entry: Optional[CacheEntry] = None
+    #: True when this result was served from the cache.
+    cache_hit: bool = False
 
 
 class Compiler:
     """Compiles methods of one program under one configuration."""
 
     def __init__(self, program: Program, config: CompilerConfig,
-                 profile: Optional[Profile] = None):
+                 profile: Optional[Profile] = None,
+                 cache: Optional[CompilationCache] = None):
         self.program = program
         self.config = config
         self.profile = profile
-        #: PhaseTiming list from the most recent compile().
+        self.cache = cache
+        #: PhaseTiming list from the most recent non-cached compile().
         self.last_timings = []
+        #: Aggregates across this compiler's lifetime (satellite 2: the
+        #: harness reports these instead of dropping per-compile data).
+        self.compile_count = 0
+        self.cache_hit_count = 0
+        self.compile_seconds_total = 0.0
+        self.phase_seconds: Dict[str, float] = {}
 
     def compile(self, method: JMethod) -> CompilationResult:
+        started = time.perf_counter()
+        result = self._compile(method)
+        self.compile_seconds_total += time.perf_counter() - started
+        self.compile_count += 1
+        if result.cache_hit:
+            self.cache_hit_count += 1
+        return result
+
+    def _compile(self, method: JMethod) -> CompilationResult:
         config = self.config
-        graph = build_graph(self.program, method, self.profile,
+
+        if self.cache is not None:
+            cached = self.cache.lookup(self.program, method, config,
+                                       self.profile)
+            if cached is not None:
+                return CompilationResult(
+                    cached.graph, cached.ea_result, cached.node_count,
+                    self._plan_from_order(cached.graph,
+                                          cached.plan_order),
+                    cache_entry=cached.entry, cache_hit=True)
+            profile = RecordingProfile(self.profile) \
+                if self.profile is not None else None
+        else:
+            profile = self.profile
+
+        graph = build_graph(self.program, method, profile,
                             config.speculate_branches,
                             config.speculation_min_samples)
 
@@ -59,7 +106,7 @@ class Compiler:
         if config.inline:
             plan.append(InliningPhase(self.program,
                                       config.inlining_policy,
-                                      self.profile,
+                                      profile,
                                       config.speculate_branches,
                                       config.speculation_min_samples,
                                       config.speculate_types))
@@ -98,14 +145,51 @@ class Compiler:
 
         plan.run(graph)
         self.last_timings = plan.timings
+        for timing in plan.timings:
+            self.phase_seconds[timing.phase] = \
+                self.phase_seconds.get(timing.phase, 0.0) + timing.seconds
         ea_result = (ea_phase.last_result if ea_phase is not None
                      and ea_phase.last_result is not None else PEAResult())
         execution_plan = None
+        plan_order = None
         if config.execution_backend == "plan":
             try:
                 execution_plan = ExecutionPlan(graph, self.program,
                                                config.cost_model)
+                plan_order = execution_plan.payload()
             except PlanError:
                 execution_plan = None  # VM falls back to GraphInterpreter
+                plan_order = "unsupported"
+
+        entry = None
+        if self.cache is not None:
+            facts = profile.facts if profile is not None else ()
+            entry = self.cache.store(
+                self.program, method, config, self.profile, facts,
+                graph, ea_result, graph.node_count(), plan_order)
         return CompilationResult(graph, ea_result, graph.node_count(),
-                                 execution_plan)
+                                 execution_plan, cache_entry=entry)
+
+    def _plan_from_order(self, graph: Graph,
+                         plan_order) -> Optional[ExecutionPlan]:
+        """Re-link a threaded-code plan from a cached linearization.
+
+        The entry records whether the storing compiler found the graph
+        plan-lowerable; an ``"unsupported"`` marker means lowering
+        failed then, so (same graph) it would fail now — skip retrying.
+        """
+        if self.config.execution_backend != "plan":
+            return None
+        if plan_order == "unsupported":
+            return None
+        try:
+            if plan_order is None:
+                # Stored by a legacy-backend compiler that never tried
+                # to lower; build the plan from scratch.
+                return ExecutionPlan(graph, self.program,
+                                     self.config.cost_model)
+            return ExecutionPlan.from_payload(graph, self.program,
+                                              self.config.cost_model,
+                                              plan_order)
+        except PlanError:
+            return None

@@ -23,6 +23,7 @@ from ..runtime.costmodel import ExecutionStats
 from ..runtime.deopt import Deoptimizer
 from ..runtime.graph_interpreter import GraphInterpreter
 from ..runtime.plan import BoundPlan, PlanError
+from .cache import CompilationCache
 from .compiler import CompilationResult, Compiler
 from .options import CompilerConfig
 
@@ -32,11 +33,13 @@ _MIN_RECURSION_LIMIT = 40_000
 class VM:
     """One program + one configuration, ready to run."""
 
-    def __init__(self, program: Program, config: CompilerConfig):
+    def __init__(self, program: Program, config: CompilerConfig,
+                 cache: Optional[CompilationCache] = None):
         if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
             sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
         self.program = program
         self.config = config
+        self.cache = cache
         self.heap = Heap(program)
         self.profile = Profile()
         self.interpreter = Interpreter(program, self.heap, self.profile)
@@ -48,7 +51,7 @@ class VM:
             program, self.heap, self._invoke_callback, self.deoptimizer,
             config.cost_model, self.exec_stats,
             config.collect_node_histogram)
-        self.compiler = Compiler(program, config, self.profile)
+        self.compiler = Compiler(program, config, self.profile, cache)
         self.compiled: Dict[JMethod, CompilationResult] = {}
         #: Threaded-code plans bound to this VM's heap/stats (plan
         #: backend); methods missing here execute via the
@@ -164,10 +167,16 @@ class VM:
         self.deopt_counts[root_method] = count
         if count >= self.config.deopt_invalidate_threshold and \
                 root_method in self.compiled:
-            del self.compiled[root_method]
+            invalidated = self.compiled.pop(root_method)
             self._bound_plans.pop(root_method, None)
             self.deopt_counts[root_method] = 0
             self.invalidations += 1
+            if self.cache is not None:
+                # The post-deopt profile changes the speculation facts,
+                # so the cached entry could never validate again — and a
+                # *different* VM whose profile still matches would
+                # re-import the failed speculation.  Evict it.
+                self.cache.evict(invalidated.cache_entry)
 
     def _invoke_callback(self, kind: str, ref: MethodRef,
                          args: List[Any]) -> Any:

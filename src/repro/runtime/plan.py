@@ -170,6 +170,39 @@ class ExecutionPlan:
                     node.next is None:
                 raise PlanError(f"{node} has no next")
 
+    # -- serialization -----------------------------------------------------
+
+    def payload(self) -> List[int]:
+        """The plan's pre-lowering table: the linearized instruction
+        order as graph node ids.  Everything else about a plan is
+        derived from (graph, cost model), so this list is all the
+        compilation cache needs to persist; closures are re-linked per
+        VM at :meth:`bind` time as usual."""
+        return [node.id for node in self.nodes]
+
+    @classmethod
+    def from_payload(cls, graph: Graph, program: Program,
+                     cost_model: CostModel,
+                     order: List[int]) -> "ExecutionPlan":
+        """Rebuild a plan from a cached graph and a persisted
+        linearization order, skipping the DFS."""
+        plan = cls.__new__(cls)
+        plan.graph = graph
+        plan.program = program
+        plan.cost_model = cost_model
+        plan.multiplier = cost_model.icache_multiplier(graph.node_count())
+        if graph.start is None:
+            raise PlanError("graph has no start node")
+        try:
+            plan.nodes = [graph._nodes[node_id] for node_id in order]
+        except KeyError as missing:
+            raise PlanError(f"stale plan order: no node {missing}")
+        if not plan.nodes or plan.nodes[0] is not graph.start:
+            raise PlanError("stale plan order: start mismatch")
+        plan.ip_of = {node: ip for ip, node in enumerate(plan.nodes)}
+        plan._validate()
+        return plan
+
     # -- binding -----------------------------------------------------------
 
     def bind(self, heap: Heap, stats: ExecutionStats,

@@ -36,7 +36,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..bytecode import Interpreter
 from ..bytecode.asmtext import to_asm
-from ..jit import VM, CompilerConfig
+from ..jit import VM, CompilationCache, CompilerConfig
 from ..lang import compile_source
 from .generator import MAGIC_VALUES, GeneratedProgram, ProgramGenerator
 
@@ -189,11 +189,13 @@ def run_engine_interpreter(make_program: Callable[[], object],
 
 
 def run_engine_vm(make_program: Callable[[], object], backend: str,
-                  probes=PROBE_CALLS) -> EngineOutcome:
+                  probes=PROBE_CALLS,
+                  cache: Optional[CompilationCache] = None
+                  ) -> EngineOutcome:
     program = make_program()
     config = CompilerConfig.partial_escape(
         compile_threshold=3, execution_backend=backend)
-    vm = VM(program, config)
+    vm = VM(program, config, cache=cache)
     for _ in range(WARM_CALLS):
         vm.call(ENTRY, *WARM_ARGS)
         program.reset_statics()
@@ -257,9 +259,16 @@ class CheckResult:
     coverage: Set[str] = field(default_factory=set)
 
 
-def check_source(source: str) -> CheckResult:
+def check_source(source: str,
+                 cache: Optional[CompilationCache] = None) -> CheckResult:
     """Compile (with the verifier always on) and differentially execute
-    one program; returns the failure (if any) and its coverage keys."""
+    one program; returns the failure (if any) and its coverage keys.
+
+    A shared *cache* lets the two VM engines reuse each other's
+    compilations: both warm up identically, so their profiles agree at
+    every compile point and the recorded speculation facts validate.
+    Each engine still builds its own Program — cached graphs rebind to
+    the requesting program's methods at load."""
     from ..jit import Compiler
     from .verifier import GraphVerificationError
 
@@ -268,7 +277,8 @@ def check_source(source: str) -> CheckResult:
         program = compile_source(source)
         compiler = Compiler(program,
                             CompilerConfig.partial_escape(
-                                verify_ir=True))
+                                verify_ir=True),
+                            cache=cache)
         for name in ("entry", "h1", "h2"):
             result = compiler.compile(program.method(f"Main.{name}"))
             for node in result.graph.nodes():
@@ -293,8 +303,9 @@ def check_source(source: str) -> CheckResult:
     outcomes: Dict[str, EngineOutcome] = {}
     for name, runner in (
             ("interp", run_engine_interpreter),
-            ("legacy", lambda p: run_engine_vm(p, "legacy")),
-            ("plan", lambda p: run_engine_vm(p, "plan"))):
+            ("legacy", lambda p: run_engine_vm(p, "legacy",
+                                               cache=cache)),
+            ("plan", lambda p: run_engine_vm(p, "plan", cache=cache))):
         try:
             outcomes[name] = runner(make_program)
         except GraphVerificationError as error:
@@ -310,8 +321,10 @@ def check_source(source: str) -> CheckResult:
     return CheckResult(compare_outcomes(outcomes), coverage)
 
 
-def check_program(program: GeneratedProgram) -> CheckResult:
-    return check_source(program.source())
+def check_program(program: GeneratedProgram,
+                  cache: Optional[CompilationCache] = None
+                  ) -> CheckResult:
+    return check_source(program.source(), cache=cache)
 
 
 # -- corpus ---------------------------------------------------------------------
@@ -354,7 +367,9 @@ def save_corpus_entry(corpus_dir: str, name: str,
     return jasm_path
 
 
-def replay_corpus_entry(jasm_path: str) -> Optional[Tuple[str, str]]:
+def replay_corpus_entry(jasm_path: str,
+                        cache: Optional[CompilationCache] = None
+                        ) -> Optional[Tuple[str, str]]:
     """Re-run one persisted reproducer under all three engines and
     check it against its recorded expectations.  Returns ``None`` when
     everything still agrees, else ``(category, detail)``."""
@@ -370,8 +385,9 @@ def replay_corpus_entry(jasm_path: str) -> Optional[Tuple[str, str]]:
 
     outcomes = {
         "interp": run_engine_interpreter(make_program, probes),
-        "legacy": run_engine_vm(make_program, "legacy", probes),
-        "plan": run_engine_vm(make_program, "plan", probes),
+        "legacy": run_engine_vm(make_program, "legacy", probes,
+                                cache=cache),
+        "plan": run_engine_vm(make_program, "plan", probes, cache=cache),
     }
     expected = meta["expected"]
     reference = outcomes["interp"]
@@ -409,13 +425,18 @@ class Fuzzer:
 
     def __init__(self, seed: int, corpus_dir: Optional[str] = None,
                  shrink: bool = True,
-                 check: Callable[[GeneratedProgram],
-                                 CheckResult] = check_program,
-                 log: Callable[[str], None] = lambda message: None):
+                 check: Optional[Callable[[GeneratedProgram],
+                                          CheckResult]] = None,
+                 log: Callable[[str], None] = lambda message: None,
+                 cache: Optional[CompilationCache] = None):
         self.rng = random.Random(seed)
         self.seed = seed
         self.corpus_dir = corpus_dir
         self.shrink = shrink
+        self.cache = cache
+        if check is None:
+            check = lambda program: check_program(  # noqa: E731
+                program, cache=self.cache)
         self.check = check
         self.log = log
         #: Choice sequences that exercised new coverage.
@@ -481,8 +502,8 @@ class Fuzzer:
 
 def fuzz(programs: int, seed: int, corpus_dir: Optional[str] = None,
          shrink: bool = True,
-         log: Callable[[str], None] = lambda message: None
-         ) -> FuzzReport:
+         log: Callable[[str], None] = lambda message: None,
+         cache: Optional[CompilationCache] = None) -> FuzzReport:
     """Run the coverage-guided differential fuzz loop."""
     return Fuzzer(seed, corpus_dir=corpus_dir, shrink=shrink,
-                  log=log).run(programs)
+                  log=log, cache=cache).run(programs)
