@@ -14,7 +14,7 @@ runtime rematerializes it from the frame state's virtual-object mapping
 Run:  python examples/deopt_rematerialization.py
 """
 
-from repro import VM, CompilerConfig, compile_source
+from repro import api
 
 SOURCE = """
 class Pair {
@@ -40,19 +40,26 @@ class Main {
 """
 
 
+class DeoptTracer(api.VMListener):
+    """Typed VM events: print each deoptimization as it happens."""
+
+    def on_deopt(self, method, state):
+        print(f"  ! deopt in {method.qualified_name} at bci {state.bci}")
+
+
 def main():
-    program = compile_source(SOURCE)
-    vm = VM(program, CompilerConfig.partial_escape())
+    prog = api.compile(SOURCE)
+    prog.add_listener(DeoptTracer())
+    vm = prog.vm
 
     print("warming up on inputs where i == 7777 never happens ...")
-    for _ in range(40):
-        vm.call("Main.run", 100)
+    prog.warm_up("Main.run", 100, calls=40, reset_statics=False)
     print(f"  compiled methods: "
           f"{sorted(m.qualified_name for m in vm.compiled)}")
 
-    before = vm.heap_snapshot()
-    result = vm.call("Main.run", 10_000)
-    delta = vm.heap_snapshot().delta(before)
+    before = prog.heap_stats()
+    result = prog.run("Main.run", 10_000)
+    delta = prog.heap_stats().delta(before)
     expected = sum(i + i * 3 + (100 if i == 7777 else 0)
                    for i in range(10_000))
 
@@ -61,7 +68,7 @@ def main():
     print(f"  deoptimizations : {vm.exec_stats.deopts}")
     print(f"  allocations     : {delta.allocations} "
           "(one Pair in 10,000 iterations: the rematerialized one)")
-    sink = program.get_static("Main", "sink")
+    sink = prog.program.get_static("Main", "sink")
     print(f"  rematerialized  : {sink!r} with fields {sink.fields}")
     print("\nThe scalar-replaced Pair was rebuilt on the heap at the "
           "deoptimization\npoint with exactly the field values the "

@@ -18,7 +18,8 @@ can and cannot do on real code shapes:
 Run:  python examples/expression_compiler.py
 """
 
-from repro import VM, CompilerConfig, compile_source
+from repro import api
+from repro.api import CompilerConfig, compile_source
 
 MJ_SOURCE = """
 class Token {
@@ -156,14 +157,15 @@ def main():
             stats = interp.heap.stats
             cycles = ""
         else:
-            vm = VM(program, factory())
-            for _ in range(25):
-                vm.call("Main.run", 50)
-            before = vm.heap_snapshot()
-            cycles_before = vm.cycles_snapshot()
-            result = vm.call("Main.run", 500)
-            stats = vm.heap_snapshot().delta(before)
-            cycles = f"{vm.cycles_snapshot() - cycles_before:>14,.0f}"
+            prog = api.compile(program, config=factory())
+            prog.warm_up("Main.run", 50, calls=25,
+                         reset_statics=False)
+            before = prog.heap_stats()
+            cycles_before = prog.vm.cycles_snapshot()
+            result = prog.run("Main.run", 500)
+            stats = prog.heap_stats().delta(before)
+            spent = prog.vm.cycles_snapshot() - cycles_before
+            cycles = f"{spent:>14,.0f}"
         if reference is None:
             reference = result
         assert result == reference

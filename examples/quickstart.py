@@ -5,7 +5,8 @@ with Partial Escape Analysis, and inspect the allocation statistics.
 Run:  python examples/quickstart.py
 """
 
-from repro import VM, CompilerConfig, compile_source
+from repro import api
+from repro.api import CompilerConfig
 
 SOURCE = """
 class Point {
@@ -37,16 +38,14 @@ class Main {
 
 
 def run(config, label):
-    program = compile_source(SOURCE)
-    vm = VM(program, config)
+    prog = api.compile(SOURCE, config=config)
     # Warm up so Main.walk gets compiled.
-    for _ in range(30):
-        vm.call("Main.walk", 50)
-    before = vm.heap_snapshot()
-    cycles_before = vm.cycles_snapshot()
-    result = vm.call("Main.walk", 10_000)
-    stats = vm.heap_snapshot().delta(before)
-    cycles = vm.cycles_snapshot() - cycles_before
+    prog.warm_up("Main.walk", 50, calls=30, reset_statics=False)
+    before = prog.heap_stats()
+    cycles_before = prog.vm.cycles_snapshot()
+    result = prog.run("Main.walk", 10_000)
+    stats = prog.heap_stats().delta(before)
+    cycles = prog.vm.cycles_snapshot() - cycles_before
     print(f"{label:>12}: result={result}  allocations={stats.allocations}"
           f"  bytes={stats.allocated_bytes}  cycles={cycles:,.0f}")
     return result

@@ -10,7 +10,8 @@ Escape Analysis keeps the hit path allocation- and lock-free.
 Run:  python examples/three_config_benchmark.py
 """
 
-from repro import VM, CompilerConfig, compile_source
+from repro import api
+from repro.api import CompilerConfig
 
 SOURCE = """
 class Key {
@@ -58,16 +59,14 @@ def main():
     baseline_cycles = None
     results = set()
     for label, factory in CONFIGS:
-        program = compile_source(SOURCE)
-        vm = VM(program, factory())
-        for _ in range(30):
-            vm.call("Main.run", 128)
-        program.reset_statics()
-        heap_before = vm.heap_snapshot()
-        cycles_before = vm.cycles_snapshot()
-        results.add(vm.call("Main.run", 16_000))
-        heap = vm.heap_snapshot().delta(heap_before)
-        cycles = vm.cycles_snapshot() - cycles_before
+        prog = api.compile(SOURCE, config=factory())
+        prog.warm_up("Main.run", 128, calls=30, reset_statics=False)
+        prog.program.reset_statics()
+        heap_before = prog.heap_stats()
+        cycles_before = prog.vm.cycles_snapshot()
+        results.add(prog.run("Main.run", 16_000))
+        heap = prog.heap_stats().delta(heap_before)
+        cycles = prog.vm.cycles_snapshot() - cycles_before
         if baseline_cycles is None:
             baseline_cycles = cycles
             speedup = ""

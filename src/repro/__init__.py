@@ -8,22 +8,27 @@ paper's contribution) plus a flow-insensitive equi-escape-sets baseline,
 a simulated-machine runtime, a tiered JIT VM, and a benchmark suite that
 regenerates the shape of the paper's Table 1.
 
-Quickstart::
+Quickstart (the stable facade lives in :mod:`repro.api`)::
 
-    from repro import compile_source, VM, CompilerConfig
+    from repro import api
 
-    program = compile_source(JAVA_LIKE_SOURCE)
-    vm = VM(program, CompilerConfig.partial_escape())
-    result = vm.call("Main.run", 1000)
-    print(vm.heap_snapshot())          # allocations, bytes, monitors
+    prog = api.compile(JAVA_LIKE_SOURCE)   # PEA config by default
+    result = prog.run("Main.run", 1000)
+    print(prog.heap_stats())           # allocations, bytes, monitors
+
+The deeper modules stay importable (``from repro import VM, ...``) for
+research code, but :mod:`repro.api` is the stability contract.
 """
 
+from . import api
+from .api import CompiledProgram
 from .bytecode import (Heap, HeapStats, Interpreter, Program,
                        disassemble_method, disassemble_program,
                        verify_program)
 from .frontend import build_graph
 from .ir import Graph, dump_graph, to_dot
-from .jit import VM, Compiler, CompilerConfig, EscapeAnalysisKind
+from .jit import (VM, Compiler, CompilerConfig, EscapeAnalysisKind,
+                  VMListener)
 from .lang import compile_source
 from .opt import (CanonicalizerPhase, DeadCodeEliminationPhase,
                   GlobalValueNumberingPhase, InliningPhase, PhasePlan)
@@ -33,6 +38,7 @@ from .runtime import CostModel, ExecutionStats
 __version__ = "1.0.0"
 
 __all__ = [
+    "api", "CompiledProgram", "VMListener",
     "Heap", "HeapStats", "Interpreter", "Program", "disassemble_method",
     "disassemble_program", "verify_program", "build_graph", "Graph",
     "dump_graph", "to_dot", "VM", "Compiler", "CompilerConfig",

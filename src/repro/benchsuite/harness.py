@@ -36,9 +36,9 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..jit import VM, CompilerConfig
+from .. import api
+from ..api import VM, CompilerConfig, compile_source
 from ..jit.cache import CompilationCache, full_config_fingerprint
-from ..lang import compile_source
 from .workloads import Workload
 
 #: The simulated machine's clock: cycles per minute (a 2 MHz toy CPU —
@@ -74,6 +74,11 @@ class Measurement:
     cache_hits: int = field(default=0, compare=False)
     warmup_iterations_run: int = field(default=0, compare=False)
     warmup_iterations_elided: int = field(default=0, compare=False)
+    #: On-stack replacement observability.  Excluded from equality:
+    #: OSR moves warm-up work between tiers (and warm-up elision skips
+    #: it wholesale) without touching the measured-window metrics.
+    osr_compilations: int = field(default=0, compare=False)
+    osr_entries: int = field(default=0, compare=False)
 
     @property
     def iterations_per_minute(self) -> float:
@@ -110,14 +115,26 @@ def _vm_signature(vm: VM, checksum: int) -> Optional[list]:
             return None
         compiled.append([method.qualified_name,
                          hashlib.sha256(entry.blob).hexdigest()])
+    osr = []
+    for method, bci in sorted(vm.osr_compiled,
+                              key=lambda k: (k[0].qualified_name, k[1])):
+        entry = vm.osr_compiled[(method, bci)].cache_entry
+        if entry is None:
+            return None
+        osr.append([method.qualified_name, bci,
+                    hashlib.sha256(entry.blob).hexdigest()])
     return [compiled,
             sorted(m.qualified_name for m in vm._uncompilable),
+            osr,
+            sorted([m.qualified_name, bci]
+                   for m, bci in vm._osr_uncompilable),
             vm.exec_stats.deopts, vm.invalidations, checksum]
 
 
-def _vm_tick(vm: VM) -> Tuple[int, int, int, int]:
+def _vm_tick(vm: VM) -> Tuple[int, ...]:
     """Cheap per-iteration progress probe for steady-state detection."""
     return (len(vm.compiled), len(vm._uncompilable),
+            len(vm.osr_compiled), len(vm._osr_uncompilable),
             vm.exec_stats.deopts, vm.invalidations)
 
 
@@ -135,6 +152,10 @@ def _profile_snapshot(vm: VM) -> dict:
         "receiver_types": [
             [m.qualified_name, bci, dict(classes)]
             for (m, bci), classes in profile.receiver_types.items()],
+        "backedges": [[m.qualified_name, bci, n]
+                      for (m, bci), n in profile.backedges.items()],
+        "osr_entries": [[m.qualified_name, bci, n]
+                        for (m, bci), n in profile.osr_entries.items()],
         "deopt_counts": {m.qualified_name: n
                          for m, n in vm.deopt_counts.items()},
         "deopts": vm.exec_stats.deopts,
@@ -155,6 +176,10 @@ def _restore_profile(vm: VM, snapshot: dict) -> None:
     profile.receiver_types = {(method(q), bci): dict(classes)
                               for q, bci, classes in
                               snapshot["receiver_types"]}
+    profile.backedges = {(method(q), bci): n for q, bci, n in
+                         snapshot["backedges"]}
+    profile.osr_entries = {(method(q), bci): n for q, bci, n in
+                           snapshot["osr_entries"]}
     vm.deopt_counts = {method(q): n for q, n in
                        snapshot["deopt_counts"].items()}
     vm.exec_stats.deopts = snapshot["deopts"]
@@ -192,7 +217,7 @@ def run_workload(workload: Workload, config: CompilerConfig,
     if record is not None and total_warmup >= 1:
         # Warm path: restore the recorded profile, replay only the final
         # warm-up iteration, and check the VM reached the recorded state.
-        vm = VM(program, config, cache=cache)
+        vm = api.compile(program, config=config, cache=cache).vm
         try:
             _restore_profile(vm, record["profile"])
         except Exception:
@@ -210,6 +235,18 @@ def run_workload(workload: Workload, config: CompilerConfig,
                 for qualified, __ in record["signature"][0]:
                     if program.method(qualified) not in vm.compiled:
                         vm.compile_now(qualified)
+                # Same for OSR variants (and loops the cold run found
+                # un-OSR-able): the replayed iteration may run them
+                # compiled from the start, never hitting the backedge
+                # that triggered OSR compilation in the cold run.
+                for qualified, bci, __ in record["signature"][2]:
+                    m = program.method(qualified)
+                    if (m, bci) not in vm.osr_compiled:
+                        vm._compile_osr(m, bci)
+                for qualified, bci in record["signature"][3]:
+                    m = program.method(qualified)
+                    if (m, bci) not in vm._osr_uncompilable:
+                        vm._compile_osr(m, bci)
             except Exception:
                 vm = None
             if vm is not None and \
@@ -222,7 +259,7 @@ def run_workload(workload: Workload, config: CompilerConfig,
         # Cold path: full warm-up, snapshotting the profile one
         # iteration before the end so a warm run can rebuild the
         # measurement-entry state by replaying that last iteration.
-        vm = VM(program, config, cache=cache)
+        vm = api.compile(program, config=config, cache=cache).vm
         warmup_run = 0
         last_tick = _vm_tick(vm)
         steady_iteration = 0
@@ -288,6 +325,8 @@ def run_workload(workload: Workload, config: CompilerConfig,
         cache_hits=vm.compiler.cache_hit_count,
         warmup_iterations_run=warmup_run,
         warmup_iterations_elided=elided,
+        osr_compilations=len(vm.osr_compiled),
+        osr_entries=vm.osr_entries,
     )
 
 

@@ -24,7 +24,7 @@ import time
 from typing import List, Optional, Sequence
 
 from ..jit import CompilationCache, CompilerConfig
-from .harness import Comparison, run_suite
+from .harness import Comparison, run_suite, run_workload
 from .profiling import print_profile, profiled
 from .reporting import num, pct, render_table
 from .workloads import (DACAPO, DACAPO_SHOWN, SCALADACAPO, SPECJBB_ALL,
@@ -77,15 +77,18 @@ def generate(suites: Sequence[str], quick: bool = False,
              locks: bool = False, out=sys.stdout, jobs: int = 1,
              backend: str = "plan", json_path: Optional[str] = None,
              profile: bool = False,
-             cache: Optional[CompilationCache] = None) -> dict:
+             cache: Optional[CompilationCache] = None,
+             osr: bool = True) -> dict:
     """Run the selected suites and print Table 1; returns the raw
     comparisons keyed by suite for programmatic use."""
     if profile:
         jobs = 1  # cProfile + histogram need everything in-process
     baseline = CompilerConfig.no_ea(
-        execution_backend=backend, collect_node_histogram=profile)
+        execution_backend=backend, collect_node_histogram=profile,
+        osr=osr)
     optimized = CompilerConfig.partial_escape(
-        execution_backend=backend, collect_node_histogram=profile)
+        execution_backend=backend, collect_node_histogram=profile,
+        osr=osr)
     histogram = {} if profile else None
     profiler = cProfile.Profile() if profile else None
     results = {}
@@ -135,8 +138,28 @@ def generate(suites: Sequence[str], quick: bool = False,
               f"{elided} warm-up iterations elided", file=out)
     if json_path:
         _write_json(json_path, results, wall_clock, jobs, backend, quick,
-                    cache)
+                    cache, osr)
     return results
+
+
+def _osr_warmup_ab(workload_name: str = "h2") -> dict:
+    """Time one loop-heavy workload's full (uncached) run with and
+    without on-stack replacement.  The simulated metrics are identical —
+    OSR only moves warm-up iterations from the interpreter into compiled
+    code — so the interesting number is real wall-clock."""
+    from .workloads import by_name
+    workload = by_name(workload_name)
+    seconds = {}
+    for enabled in (True, False):
+        config = CompilerConfig.partial_escape(osr=enabled)
+        started = time.perf_counter()
+        run_workload(workload, config)
+        seconds[enabled] = time.perf_counter() - started
+    return {
+        "workload": workload_name,
+        "osr_seconds": round(seconds[True], 3),
+        "no_osr_seconds": round(seconds[False], 3),
+    }
 
 
 def _print_compile_seconds(results: dict, out) -> None:
@@ -159,7 +182,8 @@ def _print_compile_seconds(results: dict, out) -> None:
 
 def _write_json(path: str, results: dict, wall_clock: dict, jobs: int,
                 backend: str, quick: bool,
-                cache: Optional[CompilationCache] = None) -> None:
+                cache: Optional[CompilationCache] = None,
+                osr: bool = True) -> None:
     """Benchmark metrics for CI tracking (BENCH_table1.json).
 
     ``suites`` holds only deterministic, simulated metrics — identical
@@ -169,6 +193,7 @@ def _write_json(path: str, results: dict, wall_clock: dict, jobs: int,
     payload = {
         "backend": backend,
         "jobs": jobs,
+        "osr": osr,
         "quick": quick,
         "suites": {},
         "timing": {"suites": {}},
@@ -203,11 +228,15 @@ def _write_json(path: str, results: dict, wall_clock: dict, jobs: int,
         compile_seconds = 0.0
         warmup_elided = 0
         cache_hits = 0
+        osr_compilations = 0
+        osr_entries = 0
         for c in comparisons:
             for m in (c.without, c.with_pea):
                 compile_seconds += m.compile_seconds
                 warmup_elided += m.warmup_iterations_elided
                 cache_hits += m.cache_hits
+                osr_compilations += m.osr_compilations
+                osr_entries += m.osr_entries
                 for phase, seconds in m.compile_phase_seconds.items():
                     phase_seconds[phase] = \
                         phase_seconds.get(phase, 0.0) + seconds
@@ -221,7 +250,13 @@ def _write_json(path: str, results: dict, wall_clock: dict, jobs: int,
             },
             "warmup_iterations_elided": warmup_elided,
             "cache_hits": cache_hits,
+            "osr_compilations": osr_compilations,
+            "osr_entries": osr_entries,
         }
+    if osr:
+        # Demonstrate the tentpole's point on real wall-clock: one
+        # loop-heavy workload warmed with and without OSR.
+        payload["timing"]["osr_warmup_ab"] = _osr_warmup_ab()
     if cache is not None:
         stats = cache.stats.snapshot()
         payload["timing"]["cache"] = {
@@ -259,6 +294,10 @@ def main(argv=None):
     parser.add_argument("--cache-dir", metavar="DIR", default=None,
                         help="persist the compilation cache here so "
                              "later runs start warm (implies --cache)")
+    parser.add_argument("--no-osr", dest="osr", action="store_false",
+                        default=True,
+                        help="disable on-stack replacement (hot loops "
+                             "wait for the invocation threshold)")
     args = parser.parse_args(argv)
     suites = list(SUITES) if args.suite == "all" else [args.suite]
     cache = None
@@ -266,7 +305,7 @@ def main(argv=None):
         cache = CompilationCache(args.cache_dir)
     generate(suites, quick=args.quick, locks=args.locks, jobs=args.jobs,
              backend=args.backend, json_path=args.json,
-             profile=args.profile, cache=cache)
+             profile=args.profile, cache=cache, osr=args.osr)
 
 
 if __name__ == "__main__":

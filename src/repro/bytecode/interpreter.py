@@ -58,6 +58,12 @@ def java_shl(a: int, b: int) -> int:
     return wrap_int(a << (b & 63))
 
 
+#: Sentinel returned by an OSR handler that declines to tier up (the
+#: loop keeps interpreting).  Distinct from ``None``, which is a legal
+#: method result.
+NO_OSR = object()
+
+
 class BudgetExceeded(VMError):
     """The step budget ran out — an (assumed) infinite loop."""
 
@@ -93,9 +99,41 @@ class Profile:
         self.branch_not_taken = {}
         #: (method, bci) -> {receiver class name: count} at invokevirtual.
         self.receiver_types = {}
+        #: (method, loop-header bci) -> backedge executions; the second
+        #: axis of the tiering policy (on-stack replacement).
+        self.backedges = {}
+        #: (method, loop-header bci) -> completed OSR transfers.  A loop
+        #: that has tiered up runs its iterations in compiled code, out
+        #: of the interpreter's sight, so its branch profile goes stale
+        #: from that point on (see :meth:`loop_has_osr`).
+        self.osr_entries = {}
 
     def record_invocation(self, method: JMethod):
         self.invocations[method] = self.invocations.get(method, 0) + 1
+
+    def record_backedge(self, method: JMethod, bci: int) -> int:
+        """Count one backedge execution targeting loop header *bci*;
+        returns the updated count."""
+        key = (method, bci)
+        count = self.backedges.get(key, 0) + 1
+        self.backedges[key] = count
+        return count
+
+    def backedge_count(self, method: JMethod, bci: int) -> int:
+        return self.backedges.get((method, bci), 0)
+
+    def record_osr_entry(self, method: JMethod, bci: int):
+        key = (method, bci)
+        self.osr_entries[key] = self.osr_entries.get(key, 0) + 1
+
+    def loop_has_osr(self, method: JMethod, bci: int) -> bool:
+        """Whether the loop headed at *bci* ever tiered up through OSR.
+
+        Decision-level query for the compiler: once a loop runs inside
+        compiled OSR code, the interpreter stops observing its exits, so
+        an exit branch that looks never-taken must not be speculated on
+        (it would deoptimize deterministically at the first exit)."""
+        return (method, bci) in self.osr_entries
 
     def record_branch(self, method: JMethod, bci: int, taken: bool):
         table = self.branch_taken if taken else self.branch_not_taken
@@ -168,6 +206,12 @@ class Interpreter:
         #: (``dispatcher(method, args) -> value``) so hot callees run
         #: compiled even when the caller is interpreted.
         self.dispatcher = None
+        #: Optional on-stack replacement hook, called at loop backedges
+        #: (empty operand stack) as ``osr_handler(method, target_bci,
+        #: locals_)``.  Returns :data:`NO_OSR` to keep interpreting, or
+        #: the method's result when it transferred control into compiled
+        #: code and ran the method to completion.
+        self.osr_handler = None
 
     # -- public API -----------------------------------------------------
 
@@ -177,7 +221,11 @@ class Interpreter:
             raise VMError(f"call stack overflow in {method.qualified_name}")
         self.stats.invocations += 1
         self.stats.max_depth = max(self.stats.max_depth, depth)
-        if self.profile is not None:
+        # With a tiered VM attached every call funnels through its
+        # dispatcher, which counts it; counting here too would tally
+        # calls once or twice depending on which tier the caller ran
+        # in — and tiering decisions must not depend on that.
+        if self.profile is not None and self.dispatcher is None:
             self.profile.record_invocation(method)
         if method.is_native:
             if method.native_impl is None:
@@ -227,6 +275,7 @@ class Interpreter:
         stats = self.stats
         profile = self.profile
         step_budget = self.step_budget
+        osr_handler = self.osr_handler
         while True:
             stats.steps += 1
             if stats.steps > step_budget:
@@ -288,7 +337,13 @@ class Interpreter:
                 stack.append(java_shr(a, b))
 
             elif op is Op.GOTO:
-                pc = insn.operand
+                target = insn.operand
+                if target <= pc and osr_handler is not None and \
+                        not stack:
+                    result = osr_handler(method, target, locals_)
+                    if result is not NO_OSR:
+                        return result
+                pc = target
                 continue
             elif op in _COMPARE_FNS:
                 b, a = stack.pop(), stack.pop()
@@ -296,7 +351,13 @@ class Interpreter:
                 if profile is not None:
                     profile.record_branch(method, pc, taken)
                 if taken:
-                    pc = insn.operand
+                    target = insn.operand
+                    if target <= pc and osr_handler is not None and \
+                            not stack:
+                        result = osr_handler(method, target, locals_)
+                        if result is not NO_OSR:
+                            return result
+                    pc = target
                     continue
             elif op is Op.IF_NULL or op is Op.IF_NONNULL:
                 value = stack.pop()
@@ -304,7 +365,13 @@ class Interpreter:
                 if profile is not None:
                     profile.record_branch(method, pc, taken)
                 if taken:
-                    pc = insn.operand
+                    target = insn.operand
+                    if target <= pc and osr_handler is not None and \
+                            not stack:
+                        result = osr_handler(method, target, locals_)
+                        if result is not NO_OSR:
+                            return result
+                    pc = target
                     continue
 
             elif op is Op.NEW:

@@ -20,12 +20,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .bytecode import Interpreter, disassemble_program
-from .frontend import build_graph
-from .ir import dump_graph, to_dot
-from .jit import VM, CompilationCache, Compiler, CompilerConfig, \
+from . import api
+from .api import CompilationCache, CompilerConfig, compile_source, \
     default_cache_dir
-from .lang import compile_source
+from .bytecode import Interpreter, disassemble_program
+from .ir import dump_graph, to_dot
+from .jit import Compiler
 
 CONFIGS = {
     "interp": None,
@@ -72,15 +72,17 @@ def cmd_run(args) -> int:
         cycles = ""
     else:
         cache = _make_cache(args)
-        vm = VM(program, CONFIGS[args.config](), cache=cache)
-        for _ in range(args.warmup):
-            vm.call(args.entry, *call_args)
-            program.reset_statics()
-        heap_before = vm.heap_snapshot()
+        prog = api.compile(program, config=CONFIGS[args.config](),
+                           cache=cache)
+        prog.warm_up(args.entry, *call_args, calls=args.warmup)
+        vm = prog.vm
+        heap_before = prog.heap_stats()
         cycles_before = vm.cycles_snapshot()
-        result = vm.call(args.entry, *call_args)
-        stats = vm.heap_snapshot().delta(heap_before)
+        result = prog.run(args.entry, *call_args)
+        stats = prog.heap_stats().delta(heap_before)
         cycles = f"  cycles={vm.cycles_snapshot() - cycles_before:,.0f}"
+        if vm.osr_entries:
+            cycles += f"  osr={vm.osr_entries}"
         if cache is not None:
             s = cache.stats
             cycles += f"  cache={s.hits}h/{s.misses}m"

@@ -62,14 +62,25 @@ class GraphBuilder:
     def __init__(self, program: Program, method: JMethod,
                  profile: Optional[Profile] = None,
                  speculate_branches: bool = False,
-                 speculation_min_samples: int = 50):
+                 speculation_min_samples: int = 50,
+                 osr_bci: Optional[int] = None):
         if method.is_native:
             raise GraphBuildError(
                 f"cannot build a graph for native method "
                 f"{method.qualified_name}")
+        if osr_bci is not None and method.is_synchronized:
+            # The interpreter's invoke() holds the method lock around the
+            # whole frame; an OSR epilogue would release it a second time.
+            raise GraphBuildError(
+                f"no OSR into synchronized method "
+                f"{method.qualified_name}")
         self.program = program
         self.method = method
         self.profile = profile
+        #: On-stack-replacement mode: build an entry variant whose entry
+        #: point is the loop header at *osr_bci*, seeded from an
+        #: interpreter-frame snapshot instead of the method parameters.
+        self.osr_bci = osr_bci
         #: Optimistic compilation: branches never taken in the profile
         #: become FixedGuards that deoptimize if ever reached.
         self.speculate_branches = speculate_branches and profile is not \
@@ -100,27 +111,71 @@ class GraphBuilder:
         graph.start = start
         self._anchor = start
 
-        params = [graph.add(ParameterNode(i))
-                  for i in range(self.method.arg_count)]
-        graph.parameters = params
-        if not self.method.is_static and params:
-            self._always_non_null.add(params[0])
+        if self.osr_bci is None:
+            params = [graph.add(ParameterNode(i))
+                      for i in range(self.method.arg_count)]
+            graph.parameters = params
+            if not self.method.is_static and params:
+                self._always_non_null.add(params[0])
 
-        local_count = max(self.method.max_locals, self.method.arg_count)
-        locals_ = list(params) + [graph.null] * (local_count - len(params))
-        frame = BuilderFrame(locals_)
+            local_count = max(self.method.max_locals,
+                              self.method.arg_count)
+            locals_ = list(params) + [graph.null] * (local_count
+                                                     - len(params))
+            frame = BuilderFrame(locals_)
 
-        if self.method.is_synchronized and not self.method.is_static:
-            self._method_locks = [params[0]]
-            enter = MonitorEnterNode(object=params[0])
-            self._append(enter)
-            enter.state_after = self._make_state(0, frame)
+            if self.method.is_synchronized and not self.method.is_static:
+                self._method_locks = [params[0]]
+                enter = MonitorEnterNode(object=params[0])
+                self._append(enter)
+                enter.state_after = self._make_state(0, frame)
 
-        self._incoming[self.block_graph.rpo[0]] = [(self._anchor, frame)]
+            entry_block = self.block_graph.rpo[0]
+        else:
+            frame, entry_block = self._build_osr_entry()
+
+        self._incoming[entry_block] = [(self._anchor, frame)]
         for block_id in self.block_graph.rpo:
             self._process_block(self.block_graph.blocks[block_id])
         graph.verify()
         return graph
+
+    def _build_osr_entry(self) -> Tuple[BuilderFrame, int]:
+        """The OSR entry frame: one ParameterNode per local slot live at
+        the loop header, dead slots cleared — the dual of the
+        deoptimizer's frame-state decoding (an interpreter frame mapped
+        *into* compiled code instead of out of it)."""
+        graph = self.graph
+        bci = self.osr_bci
+        if not 0 <= bci < len(self.method.code):
+            raise GraphBuildError(
+                f"OSR bci {bci} out of range in "
+                f"{self.method.qualified_name}")
+        block = self.block_graph.blocks[
+            self.block_graph.block_of_bci[bci]]
+        if block.start != bci or not block.is_loop_header:
+            raise GraphBuildError(
+                f"OSR bci {bci} of {self.method.qualified_name} is not "
+                f"a loop header")
+        live = self.liveness.live_before(bci)
+        local_count = max(self.method.max_locals, self.method.arg_count)
+        params = []
+        slots = []
+        locals_: List[Node] = []
+        for slot in range(local_count):
+            if slot in live:
+                param = graph.add(ParameterNode(len(params)))
+                params.append(param)
+                slots.append(slot)
+                locals_.append(param)
+            else:
+                locals_.append(graph.null)
+        graph.parameters = params
+        graph.osr_entry_bci = bci
+        graph.osr_local_slots = slots
+        # The operand stack is empty at a backedge (the interpreter only
+        # offers OSR there), so the entry frame carries locals only.
+        return BuilderFrame(locals_), block.index
 
     # -- plumbing -----------------------------------------------------------
 
@@ -292,7 +347,14 @@ class GraphBuilder:
                       source_block: int, target_block: int):
         target = self.block_graph.blocks[target_block]
         if source_block in target.back_edge_preds:
-            loop_begin = self._loop_begins[target_block]
+            loop_begin = self._loop_begins.get(target_block)
+            if loop_begin is None:
+                # Reachable only from an OSR entry that sits inside this
+                # loop: the header was never materialized.  Bail out —
+                # the enclosing loop's own header is the OSR point.
+                raise GraphBuildError(
+                    f"backedge into unmaterialized loop header "
+                    f"{target_block} (OSR entry inside a nested loop)")
             loop_end = self.graph.add(LoopEndNode())
             anchor.next = loop_end
             loop_begin.add_loop_end(loop_end)
@@ -380,6 +442,24 @@ class GraphBuilder:
         ever fails, execution deoptimizes and the interpreter takes the
         "impossible" path (Section 2's optimistic assumptions)."""
         if not self.speculate_branches:
+            return False
+        # A loop that tiers up through OSR runs its iterations in
+        # compiled code, where the interpreter no longer profiles, so
+        # its exit branch looks never-taken however often it exits;
+        # speculating on it would deoptimize at every exit.  Two cases:
+        # the loop this very graph OSR-enters (its exit has *never*
+        # been interpreted — the compilation request arrived mid-loop),
+        # and loops that tiered up earlier (profile fact).  Covers the
+        # while-shape (exit conditional in the header block) and the
+        # do-while-shape (backward conditional jump to the header).
+        if block.is_loop_header and \
+                (block.start == self.osr_bci
+                 or self.profile.loop_has_osr(self.method, block.start)):
+            return False
+        target_start = self.block_graph.blocks[taken_block].start
+        if target_start <= bci and \
+                (target_start == self.osr_bci
+                 or self.profile.loop_has_osr(self.method, target_start)):
             return False
         outcome = self.profile.branch_outcome(
             self.method, bci, self.speculation_min_samples)
@@ -546,7 +626,12 @@ class GraphBuilder:
 def build_graph(program: Program, method: JMethod,
                 profile: Optional[Profile] = None,
                 speculate_branches: bool = False,
-                speculation_min_samples: int = 50) -> Graph:
-    """Build and verify the IR graph for *method*."""
+                speculation_min_samples: int = 50,
+                osr_bci: Optional[int] = None) -> Graph:
+    """Build and verify the IR graph for *method*.
+
+    With *osr_bci* the graph is an on-stack-replacement entry variant:
+    execution enters at that loop header, parameters carry the live
+    interpreter locals (see :attr:`Graph.osr_local_slots`)."""
     return GraphBuilder(program, method, profile, speculate_branches,
-                        speculation_min_samples).build()
+                        speculation_min_samples, osr_bci=osr_bci).build()

@@ -29,6 +29,13 @@ class Graph:
         self._constants: Dict[Any, ConstantNode] = {}
         self.start: Optional[StartNode] = None
         self.parameters: List[ParameterNode] = []
+        #: On-stack-replacement entry variant: the loop-header bci this
+        #: graph enters at (``None`` for a normal method-entry graph).
+        self.osr_entry_bci: Optional[int] = None
+        #: For an OSR graph: the interpreter local slots (in parameter
+        #: order) the entry expects as arguments — the runtime passes
+        #: ``[locals_[slot] for slot in osr_local_slots]``.
+        self.osr_local_slots: List[int] = []
 
     # -- registration ---------------------------------------------------
 

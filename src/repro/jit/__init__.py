@@ -2,9 +2,10 @@
 
 from .cache import CacheStats, CompilationCache, default_cache_dir
 from .compiler import CompilationResult, Compiler
+from .listeners import VMListener
 from .options import CompilerConfig, EscapeAnalysisKind
 from .vm import VM
 
 __all__ = ["CacheStats", "CompilationCache", "CompilationResult",
            "Compiler", "CompilerConfig", "EscapeAnalysisKind", "VM",
-           "default_cache_dir"]
+           "VMListener", "default_cache_dir"]

@@ -60,7 +60,9 @@ from ..ir.graph import Graph
 from .options import CompilerConfig
 
 #: Bump when the payload format changes (disk entries self-invalidate).
-CACHE_FORMAT = 1
+#: 2: keys gained the OSR entry-bci dimension; Graph payloads carry
+#: ``osr_entry_bci``/``osr_local_slots``.
+CACHE_FORMAT = 2
 
 
 def default_cache_dir() -> str:
@@ -113,6 +115,8 @@ def full_config_fingerprint(config: CompilerConfig) -> str:
     description = [("pipeline", pipeline_fingerprint(config)),
                    ("execution_backend", config.execution_backend),
                    ("compile_threshold", config.compile_threshold),
+                   ("osr", config.osr),
+                   ("osr_threshold", config.osr_threshold),
                    ("deopt_invalidate_threshold",
                     config.deopt_invalidate_threshold),
                    ("compile_bailout", config.compile_bailout),
@@ -169,6 +173,14 @@ class RecordingProfile:
     def taken_probability(self, method: JMethod, bci: int) -> float:
         return self.profile.taken_probability(method, bci)
 
+    # Queried by GraphBuilder._try_speculate: loop exits stop being
+    # profiled once the loop tiers up through OSR.
+    def loop_has_osr(self, method: JMethod, bci: int) -> bool:
+        outcome = self.profile.loop_has_osr(method, bci)
+        self.facts.append(("loop_has_osr", method.qualified_name, bci,
+                           outcome))
+        return outcome
+
     # Queried by InliningPhase._speculative_target.
     def monomorphic_receiver(self, method: JMethod, bci: int,
                              min_samples: int):
@@ -203,6 +215,10 @@ def validate_facts(facts: Tuple[tuple, ...], program: Program,
                 __, qualified, bci, expected = fact
                 actual = profile.branch_counts(program.method(qualified),
                                                bci)
+            elif kind == "loop_has_osr":
+                __, qualified, bci, expected = fact
+                actual = profile.loop_has_osr(
+                    program.method(qualified), bci)
             elif kind == "monomorphic_receiver":
                 __, qualified, bci, min_samples, expected = fact
                 actual = profile.monomorphic_receiver(
@@ -353,21 +369,26 @@ class CompilationCache:
 
     @staticmethod
     def compilation_key(program: Program, method: JMethod,
-                        config: CompilerConfig,
-                        profiled: bool) -> str:
+                        config: CompilerConfig, profiled: bool,
+                        entry_bci: Optional[int] = None) -> str:
+        """*entry_bci* distinguishes on-stack-replacement variants (one
+        per loop header) from the normal method-entry compilation
+        (``None``) — they are different graphs of the same method."""
         return _digest((CACHE_FORMAT, program.content_fingerprint(),
                         method.qualified_name,
-                        pipeline_fingerprint(config), profiled))
+                        pipeline_fingerprint(config), profiled,
+                        entry_bci))
 
     # -- lookup/store -------------------------------------------------------
 
     def lookup(self, program: Program, method: JMethod,
-               config: CompilerConfig,
-               profile: Optional[Profile]) -> Optional[CachedCompilation]:
+               config: CompilerConfig, profile: Optional[Profile],
+               entry_bci: Optional[int] = None
+               ) -> Optional[CachedCompilation]:
         started = time.perf_counter()
         try:
             key = self.compilation_key(program, method, config,
-                                       profile is not None)
+                                       profile is not None, entry_bci)
             entries = self._entries(key)
             saw_candidate = False
             for entry in entries:
@@ -394,11 +415,12 @@ class CompilationCache:
     def store(self, program: Program, method: JMethod,
               config: CompilerConfig, profile: Optional[Profile],
               facts: Tuple[tuple, ...], graph: Graph, ea_result: Any,
-              node_count: int, plan_order: Any) -> Optional[CacheEntry]:
+              node_count: int, plan_order: Any,
+              entry_bci: Optional[int] = None) -> Optional[CacheEntry]:
         started = time.perf_counter()
         try:
             key = self.compilation_key(program, method, config,
-                                       profile is not None)
+                                       profile is not None, entry_bci)
             try:
                 blob = dump_graph_payload(
                     {"graph": graph, "ea_result": ea_result,
@@ -407,7 +429,8 @@ class CompilationCache:
             except Exception:
                 return None  # unpicklable graph: simply don't cache
             entry = CacheEntry(key, tuple(facts), blob,
-                               {"method": method.qualified_name})
+                               {"method": method.qualified_name,
+                                "entry_bci": entry_bci})
             entries = self._entries(key)
             entries[:] = [e for e in entries if e.facts != entry.facts]
             entries.append(entry)

@@ -72,21 +72,25 @@ class Compiler:
         self.compile_seconds_total = 0.0
         self.phase_seconds: Dict[str, float] = {}
 
-    def compile(self, method: JMethod) -> CompilationResult:
+    def compile(self, method: JMethod,
+                osr_bci: Optional[int] = None) -> CompilationResult:
+        """Compile *method*; with *osr_bci*, compile the on-stack
+        replacement entry variant whose entry is that loop header."""
         started = time.perf_counter()
-        result = self._compile(method)
+        result = self._compile(method, osr_bci)
         self.compile_seconds_total += time.perf_counter() - started
         self.compile_count += 1
         if result.cache_hit:
             self.cache_hit_count += 1
         return result
 
-    def _compile(self, method: JMethod) -> CompilationResult:
+    def _compile(self, method: JMethod,
+                 osr_bci: Optional[int] = None) -> CompilationResult:
         config = self.config
 
         if self.cache is not None:
             cached = self.cache.lookup(self.program, method, config,
-                                       self.profile)
+                                       self.profile, entry_bci=osr_bci)
             if cached is not None:
                 return CompilationResult(
                     cached.graph, cached.ea_result, cached.node_count,
@@ -100,10 +104,19 @@ class Compiler:
 
         graph = build_graph(self.program, method, profile,
                             config.speculate_branches,
-                            config.speculation_min_samples)
+                            config.speculation_min_samples,
+                            osr_bci=osr_bci)
 
         plan = PhasePlan(verify_ir=config.verify_ir)
-        if config.inline:
+        # OSR graphs are warm-up bridges and skip inlining: calls from
+        # OSR'd code then record callee invocations through the VM's
+        # invoke callback exactly as interpreted calls would, so which
+        # methods tier up — and every deterministic benchmark metric —
+        # is identical whether a loop reached steady state through OSR
+        # or through the interpreter alone.  (Inlined callees record
+        # nothing, so an inlining OSR graph would starve the callees of
+        # the loop it took over out of their own compilations.)
+        if config.inline and osr_bci is None:
             plan.append(InliningPhase(self.program,
                                       config.inlining_policy,
                                       profile,
@@ -166,7 +179,8 @@ class Compiler:
             facts = profile.facts if profile is not None else ()
             entry = self.cache.store(
                 self.program, method, config, self.profile, facts,
-                graph, ea_result, graph.node_count(), plan_order)
+                graph, ea_result, graph.node_count(), plan_order,
+                entry_bci=osr_bci)
         return CompilationResult(graph, ea_result, graph.node_count(),
                                  execution_plan, cache_entry=entry)
 

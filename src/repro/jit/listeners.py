@@ -1,0 +1,42 @@
+"""Typed VM event listeners.
+
+The VM used to expose exactly one event through a mutable
+``Deoptimizer.on_deopt`` attribute; with on-stack replacement the event
+surface grew (OSR compilations, invalidations, cache hits), so events
+are now a typed protocol.  Subclass :class:`VMListener`, override the
+events you care about, and register with
+:meth:`repro.jit.vm.VM.add_listener` — unknown events stay no-ops, so
+listeners keep working as the VM grows new ones.
+"""
+
+from __future__ import annotations
+
+
+class VMListener:
+    """Base class/protocol for VM lifecycle events.
+
+    Every hook is a no-op by default.  Events fire synchronously on the
+    VM's thread, in listener registration order.
+    """
+
+    def on_compile(self, method, result) -> None:
+        """*method* was compiled at its normal entry; *result* is the
+        :class:`~repro.jit.compiler.CompilationResult`."""
+
+    def on_osr_compile(self, method, bci: int, result) -> None:
+        """An on-stack-replacement variant of *method* entering at loop
+        header *bci* was compiled."""
+
+    def on_deopt(self, method, state) -> None:
+        """Compiled code of *method* deoptimized at frame state
+        *state* (the innermost state; ``state.outer_chain()`` walks the
+        inlined frames)."""
+
+    def on_invalidate(self, method, reason: str) -> None:
+        """*method*'s compiled code (normal entry and every OSR
+        variant) was thrown away; *reason* is a short tag such as
+        ``"deopt-threshold"``."""
+
+    def on_cache_hit(self, method, entry) -> None:
+        """A compilation of *method* was served from the compilation
+        cache; *entry* is the :class:`~repro.jit.cache.CacheEntry`."""

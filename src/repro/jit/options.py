@@ -36,6 +36,15 @@ class CompilerConfig:
     gvn: bool = True
     #: Invocations before a method is compiled.
     compile_threshold: int = 20
+    #: On-stack replacement: tier up at loop backedges, so a hot loop
+    #: inside a long-running interpreted method reaches compiled code
+    #: mid-method (the second axis of the two-axis tiering policy).
+    osr: bool = True
+    #: Backedge executions of one (method, loop-header bci) before an
+    #: OSR compilation is requested.  Sits above the invocation
+    #: threshold because a backedge fires once per iteration, not once
+    #: per call.
+    osr_threshold: int = 60
     #: Optimistic branch speculation (never-taken branches -> guards).
     #: Profiling only happens while interpreted, so the sample floor must
     #: sit below the compile threshold; bad speculation is repaired by

@@ -3,8 +3,13 @@
 Methods start in the bytecode interpreter (collecting invocation and
 branch profiles); once a method's invocation count crosses the compile
 threshold it is compiled with the configured pipeline and subsequent
-calls execute the optimized graph.  Guards that fail deoptimize back to
-the interpreter through :class:`~repro.runtime.deopt.Deoptimizer`.
+calls execute the optimized graph.  Tiering is two-axis: loop backedges
+are counted too, and a loop that crosses ``osr_threshold`` while its
+method is still interpreted tiers up mid-method through on-stack
+replacement (an OSR entry variant of the graph whose entry is the loop
+header, seeded from the interpreter frame).  Guards that fail
+deoptimize back to the interpreter through
+:class:`~repro.runtime.deopt.Deoptimizer`.
 
 Every engine shares one :class:`~repro.bytecode.heap.Heap`, so the
 allocation/monitor statistics of Table 1 are configuration-comparable.
@@ -13,18 +18,19 @@ allocation/monitor statistics of Table 1 are configuration-comparable.
 from __future__ import annotations
 
 import sys
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..bytecode.classfile import JMethod, Program
 from ..bytecode.heap import Heap, HeapStats
 from ..bytecode.instructions import MethodRef
-from ..bytecode.interpreter import Interpreter, Profile
+from ..bytecode.interpreter import NO_OSR, Interpreter, Profile
 from ..runtime.costmodel import ExecutionStats
 from ..runtime.deopt import Deoptimizer
 from ..runtime.graph_interpreter import GraphInterpreter
 from ..runtime.plan import BoundPlan, PlanError
 from .cache import CompilationCache
 from .compiler import CompilationResult, Compiler
+from .listeners import VMListener
 from .options import CompilerConfig
 
 _MIN_RECURSION_LIMIT = 40_000
@@ -45,7 +51,8 @@ class VM:
         self.interpreter = Interpreter(program, self.heap, self.profile)
         self.interpreter.dispatcher = self.call_method
         self.deoptimizer = Deoptimizer(program, self.heap,
-                                       self.interpreter)
+                                       self.interpreter,
+                                       notify=self._handle_deopt)
         self.exec_stats = ExecutionStats()
         self.graph_interpreter = GraphInterpreter(
             program, self.heap, self._invoke_callback, self.deoptimizer,
@@ -59,10 +66,35 @@ class VM:
         self._bound_plans: Dict[JMethod, BoundPlan] = {}
         #: Methods that failed to compile (stay interpreted).
         self._uncompilable: Dict[JMethod, str] = {}
+        #: On-stack-replacement variants, one per hot loop header.
+        self.osr_compiled: Dict[Tuple[JMethod, int],
+                                CompilationResult] = {}
+        self._osr_plans: Dict[Tuple[JMethod, int], BoundPlan] = {}
+        #: Loop headers whose OSR compilation failed (keep interpreting).
+        self._osr_uncompilable: Dict[Tuple[JMethod, int], str] = {}
+        #: Completed OSR transfers (observability; not a suite metric).
+        self.osr_entries = 0
         self._interpreter_steps_counted = 0
         self.deopt_counts: Dict[JMethod, int] = {}
         self.invalidations = 0
-        self.deoptimizer.on_deopt = self._handle_deopt
+        self._listeners: List[VMListener] = []
+        if config.osr:
+            self.interpreter.osr_handler = self._handle_osr
+
+    # -- listeners --------------------------------------------------------
+
+    def add_listener(self, listener: VMListener) -> VMListener:
+        """Register a :class:`~repro.jit.listeners.VMListener`; events
+        fire in registration order.  Returns the listener (chaining)."""
+        self._listeners.append(listener)
+        return listener
+
+    def remove_listener(self, listener: VMListener) -> None:
+        self._listeners.remove(listener)
+
+    def _emit(self, event: str, *args) -> None:
+        for listener in self._listeners:
+            getattr(listener, event)(*args)
 
     # -- public -----------------------------------------------------------
 
@@ -72,7 +104,15 @@ class VM:
                                 list(args))
 
     def call_method(self, method: JMethod, args: List[Any]) -> Any:
+        # The single invocation-counting point: every call — from the
+        # host, from interpreted frames (via the interpreter's
+        # dispatcher), or from compiled code — lands here and counts
+        # exactly once, whichever tier executes it.  Counting anywhere
+        # tier-dependent would make tiering decisions depend on which
+        # tier the *caller* happened to run in.  _should_compile reads
+        # the count before this call is added ("N prior invocations").
         if method.is_native:
+            self.profile.record_invocation(method)
             self.exec_stats.cycles += (
                 self.config.cost_model.invoke_overhead
                 + method.native_cycle_cost)
@@ -80,6 +120,7 @@ class VM:
         compiled = self.compiled.get(method)
         if compiled is None and self._should_compile(method):
             compiled = self._compile(method)
+        self.profile.record_invocation(method)
         if compiled is not None:
             return self._execute_compiled(method, compiled, args)
         return self._execute_interpreted(method, args)
@@ -133,6 +174,68 @@ class VM:
                     self.config.collect_node_histogram)
             except PlanError:
                 self._bound_plans.pop(method, None)
+        if result.cache_hit:
+            self._emit("on_cache_hit", method, result.cache_entry)
+        self._emit("on_compile", method, result)
+        return result
+
+    # -- on-stack replacement ---------------------------------------------
+
+    def _handle_osr(self, method: JMethod, bci: int,
+                    locals_: List[Any]) -> Any:
+        """Interpreter backedge hook: count the backedge, and past the
+        OSR threshold transfer control into the compiled OSR variant.
+        Returns :data:`~repro.bytecode.interpreter.NO_OSR` to keep
+        interpreting, else the method's result."""
+        count = self.profile.record_backedge(method, bci)
+        key = (method, bci)
+        compiled = self.osr_compiled.get(key)
+        if compiled is None:
+            if count < self.config.osr_threshold or \
+                    key in self._osr_uncompilable or \
+                    method.is_synchronized:
+                return NO_OSR
+            compiled = self._compile_osr(method, bci)
+            if compiled is None:
+                return NO_OSR
+        self.osr_entries += 1
+        self.profile.record_osr_entry(method, bci)
+        args = [locals_[slot]
+                for slot in compiled.graph.osr_local_slots]
+        bound = self._osr_plans.get(key)
+        if bound is not None:
+            return bound.execute(args)
+        return self.graph_interpreter.execute(compiled.graph, args)
+
+    def _compile_osr(self, method: JMethod,
+                     bci: int) -> Optional[CompilationResult]:
+        from ..frontend.graph_builder import GraphBuildError
+        key = (method, bci)
+        try:
+            result = self.compiler.compile(method, osr_bci=bci)
+        except GraphBuildError as exc:
+            # An un-OSR-able loop shape (e.g. the header of an inner
+            # loop reached from an OSR entry) is normal: record it and
+            # keep interpreting this loop.
+            self._osr_uncompilable[key] = f"{type(exc).__name__}: {exc}"
+            return None
+        except Exception as exc:  # noqa: BLE001 - compile bailout
+            self._osr_uncompilable[key] = f"{type(exc).__name__}: {exc}"
+            if self.config.compile_bailout:
+                return None
+            raise
+        self.osr_compiled[key] = result
+        if result.plan is not None:
+            try:
+                self._osr_plans[key] = result.plan.bind(
+                    self.heap, self.exec_stats, self._invoke_callback,
+                    self.deoptimizer,
+                    self.config.collect_node_histogram)
+            except PlanError:
+                self._osr_plans.pop(key, None)
+        if result.cache_hit:
+            self._emit("on_cache_hit", method, result.cache_entry)
+        self._emit("on_osr_compile", method, bci, result)
         return result
 
     def _execute_compiled(self, method: JMethod,
@@ -163,20 +266,38 @@ class VM:
     def _handle_deopt(self, root_method: JMethod, state) -> None:
         """Invalidate code that keeps deoptimizing; the next compilation
         sees the updated profile and drops the failed speculation."""
+        self._emit("on_deopt", root_method, state)
         count = self.deopt_counts.get(root_method, 0) + 1
         self.deopt_counts[root_method] = count
-        if count >= self.config.deopt_invalidate_threshold and \
-                root_method in self.compiled:
-            invalidated = self.compiled.pop(root_method)
-            self._bound_plans.pop(root_method, None)
-            self.deopt_counts[root_method] = 0
-            self.invalidations += 1
-            if self.cache is not None:
-                # The post-deopt profile changes the speculation facts,
-                # so the cached entry could never validate again — and a
-                # *different* VM whose profile still matches would
-                # re-import the failed speculation.  Evict it.
-                self.cache.evict(invalidated.cache_entry)
+        has_code = (root_method in self.compiled
+                    or any(m is root_method for m, __ in
+                           self.osr_compiled))
+        if count >= self.config.deopt_invalidate_threshold and has_code:
+            self._invalidate(root_method, "deopt-threshold")
+
+    def _invalidate(self, method: JMethod, reason: str) -> None:
+        """Throw away *method*'s compiled code — the normal entry and
+        every OSR variant (they embed the same failed speculation) —
+        and evict the backing cache entries."""
+        invalidated = []
+        result = self.compiled.pop(method, None)
+        if result is not None:
+            invalidated.append(result)
+        self._bound_plans.pop(method, None)
+        for key in [k for k in self.osr_compiled if k[0] is method]:
+            invalidated.append(self.osr_compiled.pop(key))
+            self._osr_plans.pop(key, None)
+            self._osr_uncompilable.pop(key, None)
+        self.deopt_counts[method] = 0
+        self.invalidations += 1
+        if self.cache is not None:
+            # The post-deopt profile changes the speculation facts, so
+            # the cached entries could never validate again — and a
+            # *different* VM whose profile still matches would re-import
+            # the failed speculation.  Evict them.
+            for result in invalidated:
+                self.cache.evict(result.cache_entry)
+        self._emit("on_invalidate", method, reason)
 
     def _invoke_callback(self, kind: str, ref: MethodRef,
                          args: List[Any]) -> Any:
@@ -187,6 +308,4 @@ class VM:
         else:
             callee = self.program.resolve_method(ref.class_name,
                                                  ref.method_name)
-        if self.profile is not None:
-            self.profile.record_invocation(callee)
         return self.call_method(callee, args)

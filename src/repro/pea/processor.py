@@ -298,7 +298,52 @@ class PEAProcessor:
                     if alias not in new_mat:
                         new_mat.append(alias)
                     break
+        # A phi that stays a real phi has its back-edge inputs
+        # materialized at the loop ends during commit — *inside* the
+        # loop.  A per-iteration object materializing there is fine
+        # (the interpreter allocates one per trip too), but a
+        # loop-invariant virtual reached by that materialization — the
+        # back-edge alias itself, or a virtual stored in its fields —
+        # would be re-allocated as a fresh copy every iteration.
+        # Require such objects materialized once, at the loop entry.
+        for phi in loop_begin.phis():
+            if phi in phi_aliases and phi not in new_bans:
+                continue
+            for position, loop_end in enumerate(loop_begin.loop_ends):
+                back_state = scope.backedges.get(loop_end)
+                if back_state is None:
+                    continue
+                alias = back_state.get_alias(
+                    self.tool.resolve(phi.values[end_count + position]))
+                if alias is None:
+                    continue
+                for reached in self._reachable_virtuals(alias,
+                                                        back_state):
+                    spec_state = speculative.object_states.get(reached)
+                    if spec_state is not None and \
+                            spec_state.is_virtual and \
+                            reached not in new_mat:
+                        new_mat.append(reached)
         return new_mat, new_phi_keys, new_bans
+
+    @staticmethod
+    def _reachable_virtuals(root: VirtualObjectNode,
+                            state: PEAState) -> List[VirtualObjectNode]:
+        """*root* plus every virtual object reachable from its entries
+        in *state* — the set ``ensure_materialized`` would allocate."""
+        seen: List[VirtualObjectNode] = []
+        stack = [root]
+        while stack:
+            vo = stack.pop()
+            if vo in seen:
+                continue
+            seen.append(vo)
+            obj_state = state.object_states.get(vo)
+            if obj_state is None or not obj_state.is_virtual:
+                continue
+            stack.extend(entry for entry in obj_state.entries
+                         if isinstance(entry, VirtualObjectNode))
+        return seen
 
     def _commit_loop(self, loop_begin: LoopBeginNode, forward_end: Node,
                      entry_state: PEAState, speculative: PEAState,

@@ -10,6 +10,7 @@ elided locks — and execution continues in the bytecode interpreter.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Dict, List, Optional
 
 from ..bytecode.classfile import Program
@@ -29,13 +30,31 @@ class Deoptimizer:
     """Decodes frame states and resumes execution in the interpreter."""
 
     def __init__(self, program: Program, heap: Heap,
-                 interpreter: Interpreter):
+                 interpreter: Interpreter,
+                 notify: Optional[Callable[[Any, Any], None]] = None):
         self.program = program
         self.heap = heap
         self.interpreter = interpreter
-        #: Optional VM hook called as ``on_deopt(root_method, state)``
-        #: before the interpreter continuation runs (code invalidation).
-        self.on_deopt = None
+        #: Internal VM channel, called as ``notify(root_method, state)``
+        #: before the interpreter continuation runs.  External code
+        #: observes deoptimization through
+        #: :class:`repro.jit.listeners.VMListener` registered via
+        #: ``VM.add_listener()`` — not by mutating this.
+        self._notify = notify
+
+    @property
+    def on_deopt(self):
+        """Deprecated: register a ``VMListener`` via ``VM.add_listener``
+        instead of poking the deoptimizer's hook."""
+        return self._notify
+
+    @on_deopt.setter
+    def on_deopt(self, hook):
+        warnings.warn(
+            "Deoptimizer.on_deopt is deprecated; register a "
+            "repro.jit.listeners.VMListener via VM.add_listener()",
+            DeprecationWarning, stacklevel=2)
+        self._notify = hook
 
     def deoptimize(self, state: FrameStateNode,
                    evaluate: Callable[[Any], Any]) -> Any:
@@ -56,8 +75,8 @@ class Deoptimizer:
             return evaluate(node)
 
         states = list(state.outer_chain())  # innermost first
-        if self.on_deopt is not None:
-            self.on_deopt(states[-1].method, state)
+        if self._notify is not None:
+            self._notify(states[-1].method, state)
         result: Any = None
         has_result = False
         for index, frame_state in enumerate(states):

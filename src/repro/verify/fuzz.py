@@ -134,6 +134,7 @@ class EngineOutcome:
     invalidations: int
     g0_summary: object
     gi: object
+    osr_entries: int = 0
 
 
 @dataclass
@@ -193,8 +194,12 @@ def run_engine_vm(make_program: Callable[[], object], backend: str,
                   cache: Optional[CompilationCache] = None
                   ) -> EngineOutcome:
     program = make_program()
+    # osr_threshold sits below the hot-loop generator shape's trip
+    # count so "hot loop in a cold method" programs tier up at the
+    # backedge during the very first call.
     config = CompilerConfig.partial_escape(
-        compile_threshold=3, execution_backend=backend)
+        compile_threshold=3, osr_threshold=25,
+        execution_backend=backend)
     vm = VM(program, config, cache=cache)
     for _ in range(WARM_CALLS):
         vm.call(ENTRY, *WARM_ARGS)
@@ -207,7 +212,8 @@ def run_engine_vm(make_program: Callable[[], object], backend: str,
         delta.monitor_exits, deopts=vm.exec_stats.deopts,
         invalidations=vm.invalidations,
         g0_summary=summarize_value(program.get_static("Main", "g0")),
-        gi=program.get_static("Main", "gi"))
+        gi=program.get_static("Main", "gi"),
+        osr_entries=vm.osr_entries)
 
 
 def compare_outcomes(outcomes: Dict[str, EngineOutcome]
@@ -242,11 +248,13 @@ def compare_outcomes(outcomes: Dict[str, EngineOutcome]
                 f"legacy allocated {legacy.allocations}, plan "
                 f"{plan.allocations} (backends must be bit-identical)")
     if (legacy.monitor_enters != plan.monitor_enters
-            or legacy.deopts != plan.deopts):
+            or legacy.deopts != plan.deopts
+            or legacy.osr_entries != plan.osr_entries):
         return ("backend-mismatch",
                 f"legacy monitors={legacy.monitor_enters} "
-                f"deopts={legacy.deopts}; plan "
-                f"monitors={plan.monitor_enters} deopts={plan.deopts}")
+                f"deopts={legacy.deopts} osr={legacy.osr_entries}; plan "
+                f"monitors={plan.monitor_enters} deopts={plan.deopts} "
+                f"osr={plan.osr_entries}")
     return None
 
 
@@ -316,6 +324,8 @@ def check_source(source: str,
                  f"{name}: {type(error).__name__}: {error}"), coverage)
     if any(o.deopts for o in outcomes.values()):
         coverage.add("run:deopt")
+    if any(o.osr_entries for o in outcomes.values()):
+        coverage.add("run:osr")
     if any(o.invalidations for o in outcomes.values()):
         coverage.add("run:invalidation")
     return CheckResult(compare_outcomes(outcomes), coverage)

@@ -232,10 +232,11 @@ class ProgramGenerator:
                  "load_field", "rebind", "link", "escape", "global_int",
                  "read_global", "if", "loop", "sync", "call",
                  "branch_escape", "branch_escape", "loop_virtual",
-                 "array_mix", "sync_escape", "deopt_window"])
+                 "array_mix", "sync_escape", "deopt_window",
+                 "hot_loop"])
             if kind in ("if", "loop", "sync", "branch_escape",
                         "loop_virtual", "sync_escape",
-                        "deopt_window") and depth >= 2:
+                        "deopt_window", "hot_loop") and depth >= 2:
                 kind = "assign_int"
             if kind == "call" and not callable_helpers:
                 kind = "store_field"
@@ -366,6 +367,32 @@ class ProgramGenerator:
                     f"x{self._int(0, self.INT_LOCALS - 1)} = "
                     f"{var}.f1;"))
                 budget -= 2
+            elif kind == "hot_loop":
+                # Hot loop in a cold method: the trip count sits above
+                # the fuzz VMs' osr_threshold while the enclosing
+                # method's invocation count is still below the compile
+                # threshold, so the loop tiers up through on-stack
+                # replacement mid-call.  A loop-carried (virtual)
+                # object plus a magic-guarded escape exercise
+                # deoptimization with rematerialization from inside the
+                # OSR'd loop body.
+                var = self.fresh_name("t")
+                ivar = self.fresh_name("i")
+                bound = self._int(40, 80)
+                escape = (f"if ({self.magic_condition()}) "
+                          f"{{ g0 = {var}; gi = gi + {ivar}; }} "
+                          if self._int(0, 1) else "")
+                result.append(Stmt.leaf(
+                    f"Data {var} = new Data(); "
+                    f"for (int {ivar} = 0; {ivar} < {bound}; "
+                    f"{ivar} = {ivar} + 1) {{ "
+                    f"{var}.f0 = {var}.f0 + {ivar}; "
+                    f"{var}.f1 = {var}.f1 ^ "
+                    f"x{self._int(0, self.INT_LOCALS - 1)}; "
+                    f"{escape}}} "
+                    f"x{self._int(0, self.INT_LOCALS - 1)} = "
+                    f"{var}.f0 + {var}.f1;"))
+                budget -= 3
             elif kind == "deopt_window":
                 # A cold branch that allocates, links and escapes: when
                 # a probe call finally takes it, the deoptimizer must

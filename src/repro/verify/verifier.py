@@ -89,6 +89,7 @@ class GraphVerifier:
                 self._check_dominance(cfg)
         self._check_frame_states()
         self._check_pea_invariants()
+        self._check_osr_entry()
         return self.findings
 
     # -- helpers -----------------------------------------------------------
@@ -396,6 +397,37 @@ class GraphVerifier:
                             f"{node} input [{index}] is virtual object "
                             f"{value} — virtual objects must be "
                             f"materialized before feeding a phi")
+
+
+    # -- layer 6: OSR entry contract ---------------------------------------
+
+    def _check_osr_entry(self):
+        """An on-stack-replacement graph's parameters must map 1:1 (and
+        in order) onto the interpreter local slots recorded in
+        ``osr_local_slots`` — that list *is* the tier-transition frame
+        mapping the runtime uses to seed the entry."""
+        bci = getattr(self.graph, "osr_entry_bci", None)
+        if bci is None:
+            return
+        slots = list(getattr(self.graph, "osr_local_slots", []))
+        params = self.graph.parameters
+        if len(params) != len(slots):
+            self._report(
+                f"OSR graph has {len(params)} parameters but "
+                f"{len(slots)} entry local slots")
+            return
+        if len(set(slots)) != len(slots):
+            self._report(f"OSR entry local slots not distinct: {slots}")
+        for index, param in enumerate(params):
+            if param.index != index:
+                self._report(
+                    f"OSR parameter {param} has index {param.index}, "
+                    f"expected dense index {index}")
+        method = self.graph.method
+        if method is not None and method.code and \
+                not 0 <= bci < len(method.code):
+            self._report(f"OSR entry bci {bci} out of range for "
+                         f"{method.qualified_name}")
 
 
 def verify_graph(graph: Graph, phase: Optional[str] = None) -> None:

@@ -268,3 +268,34 @@ def test_differential_with_reference_semantics():
         got = execute(program, graph, [n])[0]
         want, __ = reference(source, "C.m", [n])
         assert got == want, n
+
+
+def test_loop_invariant_virtual_reached_by_phi_materialization():
+    # The per-iteration Box crosses the back edge through a loop phi, so
+    # it materializes inside the loop — one allocation per trip, same as
+    # the interpreter.  But it holds a reference to the *loop-invariant*
+    # `head`: the recursive materialization of the phi input must not
+    # re-allocate a fresh copy of head every iteration.  head has to
+    # materialize once, at the loop entry, and every iteration's `link`
+    # must point at that same object.
+    source = """
+        class Box { int v; Box link; }
+        class C { static int m(int n) {
+            Box head = new Box();
+            head.v = 17;
+            Box cur = new Box();
+            for (int i = 0; i < n; i = i + 1) {
+                cur = new Box();
+                cur.v = i;
+                cur.link = head;
+            }
+            if (cur.link == head) { return cur.v + head.v + 1000; }
+            return cur.v + head.v;
+        } }
+    """
+    for n in (0, 1, 5):
+        program, graph, __ = optimize(source, "C.m")
+        result, heap, __ = execute(program, graph, [n])
+        want, ref_heap = reference(source, "C.m", [n])
+        assert result == want, n
+        assert heap.allocations <= ref_heap.allocations, n
