@@ -1,0 +1,23 @@
+"""Lattice-based static analyses over bytecode and IR control flow.
+
+Three layers (ISSUE 5):
+
+- :mod:`repro.analysis.dataflow` — a generic forward/backward worklist
+  solver parameterized over a CFG adapter and a lattice protocol.
+- :mod:`repro.analysis.summaries` — interprocedural escape summaries
+  (which parameters a callee captures / returns / merely reads),
+  consulted by Partial Escape Analysis at Invoke sites.
+- :mod:`repro.analysis.diagnostics` — escape-site attribution and lint
+  passes backing the ``repro analyze`` / ``repro lint`` CLI.
+"""
+
+from .dataflow import (BackwardSolver, BytecodeCFG, DataflowResult,
+                       ForwardSolver, IRCFG)
+from .summaries import (MethodSummary, ParamSummary, ParamEscape,
+                        SummaryDatabase)
+
+__all__ = [
+    "ForwardSolver", "BackwardSolver", "DataflowResult", "BytecodeCFG",
+    "IRCFG", "SummaryDatabase", "MethodSummary", "ParamSummary",
+    "ParamEscape",
+]

@@ -79,6 +79,12 @@ class Measurement:
     #: it wholesale) without touching the measured-window metrics.
     osr_compilations: int = field(default=0, compare=False)
     osr_entries: int = field(default=0, compare=False)
+    #: Partial Escape Analysis observability, summed over the compiled
+    #: set (cached compilations carry their PEAResult, so warm runs
+    #: report the same counts).  Excluded from equality alongside the
+    #: other observability fields.
+    virtualized_allocations: int = field(default=0, compare=False)
+    materializations: int = field(default=0, compare=False)
 
     @property
     def iterations_per_minute(self) -> float:
@@ -308,6 +314,8 @@ def run_workload(workload: Workload, config: CompilerConfig,
 
     iterations = workload.measure_iterations
     compiled_nodes = sum(r.node_count for r in vm.compiled.values())
+    ea_results = [r.ea_result for r in vm.compiled.values()
+                  if r.ea_result is not None]
     return Measurement(
         workload=workload.name,
         config=config.label(),
@@ -327,6 +335,9 @@ def run_workload(workload: Workload, config: CompilerConfig,
         warmup_iterations_elided=elided,
         osr_compilations=len(vm.osr_compiled),
         osr_entries=vm.osr_entries,
+        virtualized_allocations=sum(r.virtualized_allocations
+                                    for r in ea_results),
+        materializations=sum(r.materializations for r in ea_results),
     )
 
 

@@ -137,9 +137,44 @@ def generate(suites: Sequence[str], quick: bool = False,
               f"{stats.disk_hits} from disk, {stats.evictions} evicted, "
               f"{elided} warm-up iterations elided", file=out)
     if json_path:
+        analysis_ab = _analysis_ab(results, backend=backend,
+                                   cache=cache, osr=osr)
         _write_json(json_path, results, wall_clock, jobs, backend, quick,
-                    cache, osr)
+                    cache, osr, analysis_ab)
     return results
+
+
+def _analysis_ab(results: dict, backend: str,
+                 cache: Optional[CompilationCache], osr: bool) -> dict:
+    """Per-workload A/B of the interprocedural escape-summary analysis:
+    re-run every workload with ``escape_summaries=True`` and record the
+    deltas against the plain-PEA measurement.  Results, locks and
+    deopts must be bit-identical — the analysis may only remove
+    allocations (see :mod:`repro.analysis.summaries`)."""
+    config = CompilerConfig.partial_escape(
+        execution_backend=backend, osr=osr, escape_summaries=True)
+    section = {}
+    for comparisons in results.values():
+        for c in comparisons:
+            pea = c.with_pea
+            summ = run_workload(c.workload, config, cache=cache)
+            section[c.workload.name] = {
+                "allocations_per_iteration_pea":
+                    pea.allocations_per_iteration,
+                "allocations_per_iteration_summaries":
+                    summ.allocations_per_iteration,
+                "allocations_delta_per_iteration": round(
+                    pea.allocations_per_iteration
+                    - summ.allocations_per_iteration, 6),
+                "materializations_pea": pea.materializations,
+                "materializations_summaries": summ.materializations,
+                "checksum_identical": summ.checksum == pea.checksum,
+                "monitor_ops_identical":
+                    summ.monitor_ops_per_iteration
+                    == pea.monitor_ops_per_iteration,
+                "deopts_identical": summ.deopts == pea.deopts,
+            }
+    return section
 
 
 def _osr_warmup_ab(workload_name: str = "h2") -> dict:
@@ -183,7 +218,8 @@ def _print_compile_seconds(results: dict, out) -> None:
 def _write_json(path: str, results: dict, wall_clock: dict, jobs: int,
                 backend: str, quick: bool,
                 cache: Optional[CompilationCache] = None,
-                osr: bool = True) -> None:
+                osr: bool = True,
+                analysis_ab: Optional[dict] = None) -> None:
     """Benchmark metrics for CI tracking (BENCH_table1.json).
 
     ``suites`` holds only deterministic, simulated metrics — identical
@@ -198,6 +234,8 @@ def _write_json(path: str, results: dict, wall_clock: dict, jobs: int,
         "suites": {},
         "timing": {"suites": {}},
     }
+    if analysis_ab is not None:
+        payload["analysis_ab"] = analysis_ab
     for suite_name, comparisons in results.items():
         payload["suites"][suite_name] = {
             "workloads": {

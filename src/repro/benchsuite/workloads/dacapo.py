@@ -20,6 +20,25 @@ FOP = Workload(
     iteration_size=50,
     source=BUILDER_PATTERN + """
 class LayoutLock { int owner; }
+class FontMetrics {
+    // A kerning/advance table evaluation: big enough that the inliner
+    // refuses it, but it only *reads* its token -- interprocedural
+    // escape summaries prove the parameter non-escaping, so the
+    // caller's virtual token survives the call.
+    static int advance(Token t) {
+        int acc = t.kind * 3 + t.value;
+        acc = acc + (t.kind + 1) * (t.value + 7);
+        acc = acc + (t.kind * 11 + (t.value & 63));
+        acc = acc + ((t.value >> 2) + t.kind * 5);
+        acc = acc + (t.kind + t.value) * 3;
+        acc = acc + ((t.value & 15) * 9 + t.kind);
+        acc = acc + ((t.kind & 3) * 21 + (t.value >> 4));
+        acc = acc + (t.value * 2 + t.kind * 13);
+        acc = acc + ((t.value >> 1) & 127) + t.kind * 17;
+        acc = acc + (t.kind * 29 + (t.value & 31));
+        return acc & 65535;
+    }
+}
 class Bench {
     static Buffer page;
     static LayoutLock lock;
@@ -37,6 +56,7 @@ class Bench {
             // Measurement token; the page-level lock is real (the
             // LayoutLock escapes), only the token is scalar-replaced.
             Token measure = new Token(i & 3, i);
+            check = check + FontMetrics.advance(measure);
             synchronized (lock) {
                 check = check + measure.weight();
             }
@@ -163,6 +183,22 @@ class Framebuffer {
     int[] pixels;
     Framebuffer(int n) { this.pixels = new int[n]; }
 }
+class ToneMap {
+    // Tone-mapping curve over one color vector: too large to inline,
+    // reads its argument only -- a summarized non-escaping callee.
+    static int curve(Vec3 v) {
+        int acc = v.x * 2 + v.y * 3 + v.z * 5;
+        acc = acc + (v.x + 1) * (v.y + 2);
+        acc = acc + (v.y + 3) * (v.z + 4);
+        acc = acc + (v.z + 5) * (v.x + 6);
+        acc = acc + ((v.x >> 1) & 255) + ((v.y >> 2) & 127);
+        acc = acc + ((v.z >> 3) & 63) + (v.x & 31);
+        acc = acc + (v.y & 15) * 7 + (v.z & 7) * 11;
+        acc = acc + (v.x + v.y + v.z) * 13;
+        acc = acc + (v.x * 4 + v.y * 9 + v.z * 25);
+        return acc & 65535;
+    }
+}
 class Bench {
     static int iterate(int size) {
         Framebuffer fb = new Framebuffer(size);
@@ -172,6 +208,8 @@ class Bench {
             for (int s = 0; s < 4; s = s + 1) {
                 color = color + VecMath.shade(i * 4 + s);
             }
+            Vec3 px = new Vec3(color & 255, i + 1, color >> 8);
+            check = check + ToneMap.curve(px);
             fb.pixels[i] = color;
             check = check + color;
         }

@@ -24,6 +24,24 @@ class Tally {
     int count;
     synchronized void bump(int n) { count = count + n; }
 }
+class RateBook {
+    // District/terminal tariff lookup: an unrolled rate table the
+    // inliner refuses; it only reads the context, so escape summaries
+    // keep the caller's transaction context virtual across the call.
+    static int tariff(TxnContext c) {
+        int acc = c.district * 7 + c.terminal * 3;
+        acc = acc + (c.district + 1) * (c.terminal + 2);
+        acc = acc + ((c.district >> 1) + c.terminal * 9);
+        acc = acc + (c.district & 7) * 21 + (c.terminal & 3) * 5;
+        acc = acc + (c.district + c.terminal) * 11;
+        acc = acc + (c.district * 13 + (c.terminal >> 1));
+        acc = acc + ((c.district + 3) * (c.district + 5));
+        acc = acc + ((c.terminal + 7) * (c.terminal + 9));
+        acc = acc + (c.district * 2 + c.terminal * 17);
+        acc = acc + ((c.district >> 2) & 15) + ((c.terminal >> 1) & 7);
+        return acc & 32767;
+    }
+}
 class Ledger {
     int posted;
     synchronized void post(int n) { posted = posted + n; }
@@ -37,6 +55,10 @@ class Bench {
         for (int i = 0; i < size; i = i + 1) {
             // New-order transaction: the order escapes on commit (5/6).
             check = check + Trading.transact(wh, i, i % 6 != 0);
+            // Tariff probe: the context stays virtual only when the
+            // interprocedural summary proves RateBook.tariff read-only.
+            TxnContext probe = new TxnContext(i % 10, (i % 4) + 1);
+            check = check + RateBook.tariff(probe);
             // The ledger is shared: its lock is real.
             ledger.post(i & 7);
             // Payment audit: a temporary tally, locks elided (the

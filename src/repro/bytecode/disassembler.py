@@ -8,6 +8,27 @@ from .classfile import JClass, JMethod, Program
 from .opcodes import OperandKind, info
 
 
+def format_position(position) -> str:
+    """Render a ``(method, bci)`` source position as ``Cls.name@bci N``.
+
+    IR nodes carry positions as 2-tuples whose first element is either a
+    :class:`JMethod` or an already-qualified name string (positions that
+    crossed the compilation cache's detached pickles come back as
+    strings).  ``None``, and malformed values, render as ``"?"`` so
+    diagnostics never crash on a node without provenance.
+    """
+    if not isinstance(position, tuple) or len(position) != 2:
+        return "?"
+    method, bci = position
+    if isinstance(method, JMethod):
+        name = method.qualified_name
+    elif isinstance(method, str):
+        name = method
+    else:
+        return "?"
+    return f"{name}@bci {bci}"
+
+
 def disassemble_method(method: JMethod) -> str:
     """Render one method, annotating branch targets with labels."""
     flags = []

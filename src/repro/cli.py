@@ -5,10 +5,17 @@ Subcommands::
     python -m repro run FILE --entry Main.run --args 100 [--config pea]
     python -m repro compile FILE --method Main.run [--dump-ir] [--dot F]
     python -m repro disasm FILE
+    python -m repro analyze PATH... [--json]   (lint + escape report)
+    python -m repro lint PATH... [--json]      (lint passes only)
     python -m repro fuzz --programs 200 --seed 1234 [--corpus-dir D]
     python -m repro cache stats|clear [--cache-dir D]
     python -m repro table1 [...]        (delegates to benchsuite.table1)
     python -m repro comparison [...]    (delegates to .comparison)
+
+``analyze`` and ``lint`` accept source files, ``.jasm`` assembly files,
+or directories (searched recursively for both) and share one exit-code
+contract: 0 = clean, 1 = findings, 2 = error (unreadable input, parse
+failure).
 
 ``run`` and ``fuzz`` accept ``--cache/--no-cache`` (share compiled
 graphs across VMs; on by default for fuzz) and ``--cache-dir DIR``
@@ -27,11 +34,17 @@ from .bytecode import Interpreter, disassemble_program
 from .ir import dump_graph, to_dot
 from .jit import Compiler
 
+def _pea_with_summaries(**kwargs):
+    return CompilerConfig.partial_escape(escape_summaries=True,
+                                         **kwargs)
+
+
 CONFIGS = {
     "interp": None,
     "no-ea": CompilerConfig.no_ea,
     "equi": CompilerConfig.equi_escape,
     "pea": CompilerConfig.partial_escape,
+    "summaries": _pea_with_summaries,
 }
 
 
@@ -131,6 +144,84 @@ def cmd_disasm(args) -> int:
     return 0
 
 
+def _load_any(path: str):
+    """Load a program from a source file or a ``.jasm`` assembly file."""
+    with open(path) as handle:
+        text = handle.read()
+    if path.endswith(".jasm"):
+        from .bytecode.asmtext import assemble
+        return assemble(text, verify=True)
+    return compile_source(text)
+
+
+def _analysis_targets(paths) -> list:
+    """Expand files/directories into analyzable files (sorted;
+    directories searched recursively for .mj and .jasm)."""
+    import glob
+    import os
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            for ext in ("mj", "jasm"):
+                files.extend(sorted(glob.glob(
+                    os.path.join(path, "**", f"*.{ext}"),
+                    recursive=True)))
+        else:
+            files.append(path)
+    return files
+
+
+def _run_analysis(args, lint_only: bool) -> int:
+    """Shared driver for ``analyze``/``lint``.
+
+    Exit contract: 0 clean, 1 findings, 2 error.  The escape-site
+    attribution of ``analyze`` is informational — only lint findings
+    make the exit code 1.
+    """
+    import json
+
+    from .analysis.diagnostics import analyze_program, lint_program
+
+    files = _analysis_targets(args.paths)
+    if not files:
+        print("no analyzable files found", file=sys.stderr)
+        return 2
+    reports = {}
+    finding_count = 0
+    for path in files:
+        try:
+            program = _load_any(path)
+            if lint_only:
+                findings = lint_program(program)
+                payload = {"findings": [f.to_dict() for f in findings]}
+                text = "\n".join(f.format() for f in findings) \
+                    if findings else "clean"
+            else:
+                report = analyze_program(program)
+                findings = report.findings
+                payload = report.to_dict()
+                text = report.format()
+        except Exception as exc:  # noqa: BLE001 - report, exit 2
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 2
+        finding_count += len(findings)
+        reports[path] = payload
+        if not args.json:
+            print(f"== {path}")
+            print(text)
+    if args.json:
+        print(json.dumps(reports, indent=2, sort_keys=True))
+    return 1 if finding_count else 0
+
+
+def cmd_analyze(args) -> int:
+    return _run_analysis(args, lint_only=False)
+
+
+def cmd_lint(args) -> int:
+    return _run_analysis(args, lint_only=True)
+
+
 def cmd_fuzz(args) -> int:
     import os
     if args.verify_ir:
@@ -219,6 +310,24 @@ def main(argv=None) -> int:
         "disasm", help="disassemble a program's bytecode")
     disasm_parser.add_argument("file")
     disasm_parser.set_defaults(func=cmd_disasm)
+
+    analyze_parser = subparsers.add_parser(
+        "analyze", help="escape-site attribution report + IR lints "
+                        "(exit 0 clean / 1 findings / 2 error)")
+    analyze_parser.add_argument("paths", nargs="+",
+                                help="source/.jasm files or directories")
+    analyze_parser.add_argument("--json", action="store_true",
+                                help="machine-readable output")
+    analyze_parser.set_defaults(func=cmd_analyze)
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="IR lint passes only "
+                     "(exit 0 clean / 1 findings / 2 error)")
+    lint_parser.add_argument("paths", nargs="+",
+                             help="source/.jasm files or directories")
+    lint_parser.add_argument("--json", action="store_true",
+                             help="machine-readable output")
+    lint_parser.set_defaults(func=cmd_lint)
 
     fuzz_parser = subparsers.add_parser(
         "fuzz", help="coverage-guided differential fuzzing "

@@ -102,6 +102,11 @@ class GraphBuilder:
         #: Anchor: the fixed node whose `next` is the current insert point.
         self._anchor: Optional[FixedWithNextNode] = None
         self._method_locks: List[Node] = []
+        #: Bytecode index of the instruction currently being lowered;
+        #: threaded onto appended nodes as ``(method, bci)`` source
+        #: positions for diagnostics (see
+        #: :func:`repro.bytecode.disassembler.format_position`).
+        self._current_bci: Optional[int] = None
 
     # -- public -----------------------------------------------------------
 
@@ -182,6 +187,9 @@ class GraphBuilder:
     def _append(self, node: FixedWithNextNode) -> FixedWithNextNode:
         """Append a fixed node at the current insert point."""
         self.graph.add(node)
+        if self._current_bci is not None and \
+                getattr(node, "position", None) is None:
+            node.position = (self.method, self._current_bci)
         self._anchor.next = node
         self._anchor = node
         return node
@@ -236,6 +244,7 @@ class GraphBuilder:
         bci = block.start
         while bci <= block.end:
             insn = code[bci]
+            self._current_bci = bci
             if insn.is_branch or insn.is_terminator:
                 self._process_terminator(block, bci, insn, frame)
                 return

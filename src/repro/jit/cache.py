@@ -62,7 +62,10 @@ from .options import CompilerConfig
 #: Bump when the payload format changes (disk entries self-invalidate).
 #: 2: keys gained the OSR entry-bci dimension; Graph payloads carry
 #: ``osr_entry_bci``/``osr_local_slots``.
-CACHE_FORMAT = 2
+#: 3: ``escape_summaries`` joined the pipeline key, PEAResult payloads
+#: carry materialization events, entries may carry ``escape_summary``
+#: facts.
+CACHE_FORMAT = 3
 
 
 def default_cache_dir() -> str:
@@ -91,7 +94,7 @@ _PIPELINE_FIELDS = (
     "inline", "canonicalize", "gvn", "speculate_branches",
     "speculation_min_samples", "speculate_types", "pea_iterations",
     "read_elimination", "conditional_elimination", "stack_allocation",
-    "pea_virtualize_arrays", "pea_fold_checks",
+    "pea_virtualize_arrays", "pea_fold_checks", "escape_summaries",
 )
 
 
@@ -201,7 +204,26 @@ class RecordingProfile:
 def validate_facts(facts: Tuple[tuple, ...], program: Program,
                    profile: Optional[Profile]) -> bool:
     """True when every recorded profile fact holds verbatim against
-    *profile* (method names resolved in *program*)."""
+    *profile* (method names resolved in *program*).
+
+    ``escape_summary`` facts are program facts, not profile facts: they
+    are revalidated by recomputing the summary database against the
+    requesting program (memoized there), independent of any profile.
+    """
+    summary_facts = [fact for fact in facts
+                     if fact[0] == "escape_summary"]
+    if summary_facts:
+        try:
+            from ..analysis.summaries import summaries_for
+            database = summaries_for(program)
+            for __, qualified, expected in summary_facts:
+                if database.digest(
+                        program.method(qualified)) != expected:
+                    return False
+        except Exception:  # noqa: BLE001 - unresolved method etc.
+            return False
+        facts = tuple(fact for fact in facts
+                      if fact[0] != "escape_summary")
     if profile is None:
         return not facts
     try:

@@ -133,12 +133,18 @@ class Compiler:
             plan.append(ConditionalEliminationPhase())
         plan.append(DeadCodeEliminationPhase())
 
+        summary_view = None
+        if config.escape_summaries:
+            from ..analysis.summaries import SummaryView, summaries_for
+            summary_view = SummaryView(summaries_for(self.program))
+
         ea_phase = None
         if config.escape_analysis is EscapeAnalysisKind.PARTIAL:
             ea_phase = PartialEscapePhase(
                 self.program, config.pea_iterations,
                 virtualize_arrays=config.pea_virtualize_arrays,
-                fold_virtual_checks=config.pea_fold_checks)
+                fold_virtual_checks=config.pea_fold_checks,
+                summaries=summary_view)
         elif config.escape_analysis is EscapeAnalysisKind.EQUI_ESCAPE:
             ea_phase = EquiEscapePhase(self.program)
         if ea_phase is not None:
@@ -155,6 +161,16 @@ class Compiler:
         if config.stack_allocation:
             from ..opt.stack_allocation import StackAllocationPhase
             plan.append(StackAllocationPhase(self.program))
+        elif summary_view is not None:
+            # Summary-marginal stack allocation: what the summaries
+            # uniquely prove non-escaping (and PEA still materialized)
+            # moves off the heap, so the escape-summaries A/B in
+            # Table 1 attributes every allocation delta to the
+            # interprocedural analysis alone.
+            from ..opt.stack_allocation import StackAllocationPhase
+            plan.append(StackAllocationPhase(self.program,
+                                             summaries=summary_view,
+                                             marginal_only=True))
 
         plan.run(graph)
         self.last_timings = plan.timings
@@ -176,7 +192,12 @@ class Compiler:
 
         entry = None
         if self.cache is not None:
-            facts = profile.facts if profile is not None else ()
+            facts = tuple(profile.facts) if profile is not None else ()
+            if summary_view is not None:
+                # Summaries are speculation-like facts: a cached graph
+                # is only reusable while every consulted summary still
+                # digests the same against the loading program.
+                facts = facts + summary_view.facts()
             entry = self.cache.store(
                 self.program, method, config, self.profile, facts,
                 graph, ea_result, graph.node_count(), plan_order,

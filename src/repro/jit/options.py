@@ -73,6 +73,14 @@ class CompilerConfig:
     #: Ablation knobs for the analysis itself.
     pea_virtualize_arrays: bool = True
     pea_fold_checks: bool = True
+    #: Consult interprocedural escape summaries
+    #: (:mod:`repro.analysis.summaries`) at Invoke sites: a virtual
+    #: object passed to a summarized non-escaping callee is not
+    #: materialized (it is passed as a stack-allocated borrow, or as
+    #: null when the callee never touches the parameter), and the
+    #: stack-allocation sets become summary-aware.  Part of the
+    #: compilation-cache pipeline key.
+    escape_summaries: bool = False
     #: Run the full :class:`repro.verify.GraphVerifier` invariant suite
     #: after every phase of every compilation (SSA dominance, CFG
     #: shape, frame-state completeness, PEA invariants).  Defaults to

@@ -28,12 +28,28 @@ from .phase import Phase
 class StackAllocationPhase(Phase):
     name = "stack-allocation"
 
-    def __init__(self, program: Program):
+    def __init__(self, program: Program, summaries=None,
+                 marginal_only: bool = False):
         self.program = program
+        #: Optional interprocedural escape summaries
+        #: (:class:`repro.analysis.summaries.SummaryView`): invoke
+        #: arguments with proven non-capturing callees stop escaping.
+        self.summaries = summaries
+        #: With ``marginal_only`` the phase flags only allocations the
+        #: summaries *uniquely* enable (approved with summaries but not
+        #: without).  That keeps an escape-summaries A/B attribution
+        #: pure: the baseline configuration never runs this phase, so
+        #: plain-approved allocations must stay on the heap in both
+        #: arms.
+        self.marginal_only = marginal_only
         self.flagged = 0
 
     def run(self, graph: Graph) -> bool:
-        approved = EquiEscapeSets(graph, self.program).analyze()
+        approved = EquiEscapeSets(graph, self.program,
+                                  summaries=self.summaries).analyze()
+        if self.marginal_only and self.summaries is not None:
+            plain = EquiEscapeSets(graph, self.program).analyze()
+            approved = approved - plain
         changed = False
         for node in graph.nodes_of(NewInstanceNode, NewArrayNode):
             if node in approved and not getattr(node, "stack_allocated",

@@ -43,11 +43,22 @@ from .processor import PEAProcessor
 class EquiEscapeSets:
     """Union-find escape analysis over one graph."""
 
-    def __init__(self, graph: Graph, program: Optional[Program] = None):
+    def __init__(self, graph: Graph, program: Optional[Program] = None,
+                 summaries=None):
         self.graph = graph
         self.program = program
+        #: Optional :class:`repro.analysis.summaries.SummaryView`:
+        #: invoke arguments whose callee parameter is summarized
+        #: non-capturing stop escaping the set (they union with the
+        #: parameters they flow into, and with the call result when
+        #: returned, instead).
+        self.summaries = summaries
         self._parent: Dict[Node, Node] = {}
         self._escaped: Set[Node] = set()  # set representatives that escape
+        #: Invoke results unioned with an argument set (summary mode):
+        #: they alias tracked objects, so their users get the same
+        #: conservative category sweep as allocations.
+        self._result_aliases: List[Node] = []
 
     # -- union-find ---------------------------------------------------------
 
@@ -111,11 +122,10 @@ class EquiEscapeSets:
             elif isinstance(node, ReturnNode):
                 self._mark_escaped(node.value)
             elif isinstance(node, InvokeNode):
-                for argument in node.arguments:
-                    self._mark_escaped(argument)
+                self._process_invoke(node)
         # Any allocation referenced from a node category we don't model
         # escapes conservatively.
-        for allocation in allocations:
+        for allocation in allocations + self._result_aliases:
             for user in allocation.usages:
                 if not isinstance(user, self._SAFE_USERS + (
                         PhiNode, StoreFieldNode, StoreIndexedNode,
@@ -150,6 +160,44 @@ class EquiEscapeSets:
                         if self._holds_reference(value):
                             self._mark_escaped(node)
         return {a for a in allocations if not self.is_escaped(a)}
+
+    def _process_invoke(self, node: InvokeNode):
+        """Call arguments escape — unless an interprocedural summary
+        proves the callee never captures the parameter (Kotzmann's
+        *arg-escape* refinement, driven here by
+        :mod:`repro.analysis.summaries`)."""
+        summary = None
+        if self.summaries is not None:
+            summary = self.summaries.summary_for_call(node.target)
+        if summary is None or summary.is_top:
+            for argument in node.arguments:
+                self._mark_escaped(argument)
+            return
+        unioned_result = False
+        for position, argument in enumerate(node.arguments):
+            if argument is None or isinstance(argument, ConstantNode):
+                continue
+            param = summary.param(position)
+            if param.captured:
+                self._mark_escaped(argument)
+                continue
+            for target in param.flows_to:
+                if not self._is_tracked_value(argument):
+                    # Mirrors the StoreField rule: foreign references
+                    # neither escape nor poison the container's set.
+                    continue
+                if target < len(node.arguments) and \
+                        self._is_tracked_value(node.arguments[target]):
+                    self._union(argument, node.arguments[target])
+                else:
+                    # Flows into a container we don't track.
+                    self._mark_escaped(argument)
+            if param.returned and self._is_tracked_value(argument):
+                # The call result aliases the argument's set.
+                self._union(argument, node)
+                unioned_result = True
+        if unioned_result:
+            self._result_aliases.append(node)
 
     @staticmethod
     def _is_tracked_value(node: Optional[Node]) -> bool:

@@ -56,6 +56,7 @@ def ensure_materialized(program: Program, state: PEAState,
             length=graph.constant(virtual_object.length))
     else:  # pragma: no cover
         raise TypeError(f"unknown virtual object {virtual_object!r}")
+    materialized.position = getattr(virtual_object, "position", None)
     effects.track_created(materialized)
 
     # Transition to escaped *first*: cycles hit the materialized value.
@@ -87,4 +88,62 @@ def ensure_materialized(program: Program, state: PEAState,
         effects.track_created(enter)
         effects.insert_fixed_before(anchor, enter)
 
+    return materialized
+
+
+def borrow_materialized(program: Program, state: PEAState,
+                        virtual_object: VirtualObjectNode, anchor: Node,
+                        effects: Effects) -> Node:
+    """Build a *throwaway copy* of a virtual object immediately before
+    *anchor* — without escaping it.
+
+    Used for invoke arguments whose callee parameter is summarized
+    *borrowable* (read-only, never locked/returned/captured/stored):
+    the callee observes field values and the exact type, both of which
+    the copy reproduces, and cannot retain the reference — so the
+    caller's object stays virtual and the copy is marked
+    ``stack_allocated`` (a zone allocation, invisible to the heap
+    statistics the paper's Table 1 measures).
+
+    The caller must ensure every entry is a real value (no nested
+    still-virtual objects) and ``lock_count == 0``.
+    """
+    obj_state = state.get_state(virtual_object)
+    assert obj_state.is_virtual and obj_state.lock_count == 0
+    graph = effects.graph
+
+    if isinstance(virtual_object, VirtualInstanceNode):
+        materialized: Node = NewInstanceNode(virtual_object.class_name)
+    elif isinstance(virtual_object, VirtualArrayNode):
+        materialized = NewArrayNode(
+            virtual_object.elem_type,
+            length=graph.constant(virtual_object.length))
+    else:  # pragma: no cover
+        raise TypeError(f"unknown virtual object {virtual_object!r}")
+    materialized.position = getattr(virtual_object, "position", None)
+    materialized.stack_allocated = True
+    effects.track_created(materialized)
+    effects.insert_fixed_before(anchor, materialized)
+
+    for index, entry in enumerate(obj_state.entries):
+        if isinstance(entry, VirtualObjectNode):
+            entry_state = state.get_state(entry)
+            assert not entry_state.is_virtual, \
+                "borrow of an object with virtual entries"
+            value: Node = entry_state.materialized_value
+        else:
+            value = entry
+        if _is_default(value):
+            continue
+        if isinstance(virtual_object, VirtualInstanceNode):
+            store: Node = StoreFieldNode(
+                FieldRef(virtual_object.class_name,
+                         virtual_object.field_names[index]),
+                object=materialized, value=value)
+        else:
+            store = StoreIndexedNode(array=materialized,
+                                     index=graph.constant(index),
+                                     value=value)
+        effects.track_created(store)
+        effects.insert_fixed_before(anchor, store)
     return materialized

@@ -27,6 +27,15 @@ class PEAResult:
     materializations: int = 0
     removed_monitor_pairs: int = 0
     applied_effects: int = 0
+    #: Summary-guided invoke decisions (escape_summaries only).
+    nulled_args: int = 0
+    borrowed_args: int = 0
+    #: Escape-site attribution
+    #: (:class:`repro.analysis.diagnostics.MaterializationEvent`, plain
+    #: data — survives the compilation cache's detached pickles).
+    #: Unlike :attr:`materializations`, this list is exact: events from
+    #: rolled-back loop-processing retries are discarded with them.
+    events: list = field(default_factory=list)
 
     @property
     def fully_removed_allocations(self) -> int:
@@ -40,7 +49,7 @@ class PartialEscapePhase(Phase):
 
     def __init__(self, program: Program, iterations: int = 2,
                  virtualize_arrays: bool = True,
-                 fold_virtual_checks: bool = True):
+                 fold_virtual_checks: bool = True, summaries=None):
         self.program = program
         #: Graal applies PEA multiple times; later rounds pick up
         #: opportunities exposed by the previous round's simplifications.
@@ -48,6 +57,10 @@ class PartialEscapePhase(Phase):
         #: Ablation knobs (see benchmarks/bench_ablation.py).
         self.virtualize_arrays = virtualize_arrays
         self.fold_virtual_checks = fold_virtual_checks
+        #: Interprocedural escape summaries (a
+        #: :class:`repro.analysis.summaries.SummaryView`), or None for
+        #: the paper's conservative invoke handling.
+        self.summaries = summaries
         self.last_result: Optional[PEAResult] = None
 
     def run(self, graph: Graph) -> bool:
@@ -73,6 +86,7 @@ class PartialEscapePhase(Phase):
         processor = PEAProcessor(graph, self.program, effects)
         processor.tool.virtualize_arrays = self.virtualize_arrays
         processor.tool.fold_virtual_checks = self.fold_virtual_checks
+        processor.tool.summaries = self.summaries
         tool = processor.run()
         if len(effects) == 0:
             return False
@@ -82,4 +96,9 @@ class PartialEscapePhase(Phase):
         total.materializations += tool.materializations
         total.removed_monitor_pairs += tool.removed_monitor_pairs
         total.applied_effects += applied
+        total.events.extend(tool.events)
+        total.nulled_args += sum(1 for event in tool.events
+                                 if event.kind == "nulled_arg")
+        total.borrowed_args += sum(1 for event in tool.events
+                                   if event.kind == "borrowed")
         return True

@@ -174,6 +174,7 @@ class PEAProcessor:
             checkpoint = self.effects.mark()
             replacements_snapshot = dict(self.tool.replacements)
             deleted_snapshot = set(self.tool.deleted)
+            events_snapshot = list(self.tool.events)
             pending_snapshot = {b: list(v)
                                 for b, v in self.pending.items()}
             scope.reset()
@@ -208,6 +209,7 @@ class PEAProcessor:
             self.effects.rollback(checkpoint)
             self.tool.replacements = replacements_snapshot
             self.tool.deleted = deleted_snapshot
+            self.tool.events = events_snapshot
             self.pending = pending_snapshot
             for vo in new_mat:
                 if vo not in required_mat:

@@ -13,18 +13,21 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
+from ..analysis.diagnostics import MaterializationEvent
 from ..bytecode.classfile import Program
+from ..bytecode.disassembler import format_position
 from ..ir.node import Node
 from ..ir.nodes import (ArrayLengthNode, ConstantNode, DeoptimizeNode,
-                        EscapeObjectStateNode, FixedGuardNode,
+                        EndNode, EscapeObjectStateNode, FixedGuardNode,
                         FrameStateNode, InstanceOfNode, InvokeNode,
                         IsNullNode, LoadFieldNode, LoadIndexedNode,
-                        MonitorEnterNode, MonitorExitNode, NewArrayNode,
-                        NewInstanceNode, RefEqualsNode, StoreFieldNode,
-                        StoreIndexedNode, VirtualArrayNode,
+                        LoopEndNode, MonitorEnterNode, MonitorExitNode,
+                        NewArrayNode, NewInstanceNode, RefEqualsNode,
+                        ReturnNode, StoreFieldNode, StoreIndexedNode,
+                        StoreStaticNode, VirtualArrayNode,
                         VirtualInstanceNode, VirtualObjectNode)
 from .effects import Effects
-from .materialize import ensure_materialized
+from .materialize import borrow_materialized, ensure_materialized
 from .state import ObjectState, PEAState
 
 #: Arrays longer than this are not virtualized (entry lists must stay
@@ -49,6 +52,11 @@ class PEATool:
         #: Ablation knobs (Section 5.2 features).
         self.virtualize_arrays = True
         self.fold_virtual_checks = True
+        #: Interprocedural escape summaries
+        #: (:class:`repro.analysis.summaries.SummaryView`), if the
+        #: configuration enables them: virtual objects passed to
+        #: summarized non-escaping callees are not materialized.
+        self.summaries = None
         #: Scalar replacements: deleted node -> replacement value node.
         self.replacements: Dict[Node, Node] = {}
         #: Nodes scheduled for deletion during this pass.
@@ -57,6 +65,9 @@ class PEATool:
         self.virtualized_allocations = 0
         self.removed_monitor_pairs = 0
         self.materializations = 0
+        #: Escape-site attribution (plain data; snapshot/rolled back
+        #: with the loop-retry machinery, so the final list is exact).
+        self.events: List[MaterializationEvent] = []
 
     # -- helpers ------------------------------------------------------------
 
@@ -79,8 +90,69 @@ class PEATool:
                     virtual_object: VirtualObjectNode,
                     anchor: Node) -> Node:
         self.materializations += 1
+        self._record_event(state, virtual_object, anchor,
+                           "materialized")
         return ensure_materialized(self.program, state, virtual_object,
                                    anchor, self.effects)
+
+    # -- escape-site attribution -------------------------------------------
+
+    def _record_event(self, state: PEAState,
+                      virtual_object: VirtualObjectNode, anchor: Node,
+                      kind: str):
+        method = self.graph.method
+        self.events.append(MaterializationEvent(
+            method=method.qualified_name if method else "?",
+            object_desc=self._describe_object(virtual_object),
+            object_position=self._object_position(virtual_object),
+            reason=self._describe_anchor(anchor, virtual_object, state),
+            kind=kind))
+
+    @staticmethod
+    def _describe_object(virtual_object: VirtualObjectNode) -> str:
+        if isinstance(virtual_object, VirtualInstanceNode):
+            return virtual_object.class_name
+        return (f"{virtual_object.elem_type}"
+                f"[{virtual_object.length}]")
+
+    @staticmethod
+    def _object_position(virtual_object: VirtualObjectNode
+                         ) -> Optional[str]:
+        position = getattr(virtual_object, "position", None)
+        return format_position(position) if position else None
+
+    def _describe_anchor(self, anchor: Node,
+                         virtual_object: VirtualObjectNode,
+                         state: PEAState) -> str:
+        suffix = ""
+        position = getattr(anchor, "position", None)
+        if position:
+            suffix = f" at {format_position(position)}"
+        if isinstance(anchor, InvokeNode):
+            target = anchor.target
+            params = [i for i, arg in enumerate(anchor.arguments)
+                      if state.get_alias(self.resolve(arg))
+                      is virtual_object]
+            where = f" param {params[0]}" if params else ""
+            return (f"flows into {target.class_name}."
+                    f"{target.method_name}{where}{suffix}")
+        if isinstance(anchor, StoreStaticNode):
+            return f"is stored into static {anchor.field}{suffix}"
+        if isinstance(anchor, (StoreFieldNode, StoreIndexedNode)):
+            container = "an escaped object" \
+                if isinstance(anchor, StoreFieldNode) \
+                else "an escaped array"
+            return f"is stored into {container}{suffix}"
+        if isinstance(anchor, ReturnNode):
+            return f"is returned{suffix}"
+        if isinstance(anchor, LoopEndNode):
+            return f"crosses a loop back edge non-virtually{suffix}"
+        if isinstance(anchor, EndNode):
+            from ..ir.nodes import LoopBeginNode
+            if isinstance(anchor.merge(), LoopBeginNode):
+                return f"cannot stay virtual across a loop{suffix}"
+            return f"merges with a non-virtual path{suffix}"
+        return f"reaches {type(anchor).__name__}{suffix}"
 
     # -- main dispatch -------------------------------------------------------
 
@@ -110,6 +182,8 @@ class PEATool:
             self._is_null(node, state)
         elif isinstance(node, InstanceOfNode):
             self._instance_of(node, state)
+        elif isinstance(node, InvokeNode):
+            self._invoke(node, state)
         else:
             self.process_generic(node, state)
         if node not in self.deleted:
@@ -126,6 +200,7 @@ class PEATool:
         fields = self.program.instance_fields(node.class_name)
         virtual = VirtualInstanceNode(node.class_name,
                                       [f.name for f in fields])
+        virtual.position = getattr(node, "position", None)
         self.effects.track_created(virtual)
         entries: List[Node] = [
             self.graph.constant(f.default_value()) for f in fields]
@@ -149,6 +224,7 @@ class PEATool:
         default = self.graph.constant(
             0 if node.elem_type in ("int", "boolean") else None)
         virtual = VirtualArrayNode(node.elem_type, length.value)
+        virtual.position = getattr(node, "position", None)
         self.effects.track_created(virtual)
         state.add_object(ObjectState(virtual, [default] * length.value))
         state.add_alias(node, virtual)
@@ -303,6 +379,97 @@ class PEATool:
         else:
             result = 1 if node.class_name == "Object" else 0
         self._replace_with_value(node, self.graph.constant(result))
+
+    # -- invokes: consult interprocedural escape summaries ------------------------
+
+    def _invoke(self, node: InvokeNode, state: PEAState):
+        """Without summaries this is the paper's conservative rule (any
+        reference argument of a non-inlined invoke escapes, handled
+        generically).  With summaries, a virtual argument whose callee
+        parameter is summarized non-escaping avoids heap
+        materialization:
+
+        - **unused** parameter (never a receiver): pass null — the
+          callee provably cannot observe the difference;
+        - **borrowable** parameter (read but never written, locked,
+          returned, captured or stored anywhere): pass a throwaway
+          stack-allocated copy; the caller's object stays virtual.
+
+        Decisions are made per tracked *object*, joining the parameter
+        summaries over every position the object occupies, so
+        ``f(o, o)`` keeps reference identity (one shared borrow).
+        """
+        summaries = self.summaries
+        arguments = list(node.arguments)
+        if summaries is None or not arguments:
+            self.process_generic(node, state)
+            return
+        receiver_class = None
+        if node.kind == "virtual":
+            receiver_alias = state.get_alias(
+                self.resolve(arguments[0]))
+            if isinstance(receiver_alias, VirtualInstanceNode):
+                receiver_class = receiver_alias.class_name
+        summary = summaries.summary_for_call(
+            node.target, receiver_class=receiver_class)
+        if summary is None or summary.is_top:
+            self.process_generic(node, state)
+            return
+
+        # Join each tracked object's parameter summaries over all the
+        # positions it occupies.
+        per_object: Dict[VirtualObjectNode, object] = {}
+        receivers: Set[VirtualObjectNode] = set()
+        for position, argument in enumerate(arguments):
+            alias = state.get_alias(self.resolve(argument))
+            if alias is None:
+                continue
+            param = summary.param(position)
+            joined = per_object.get(alias)
+            per_object[alias] = param if joined is None \
+                else joined.join(param)
+            if position == 0 and node.kind in ("virtual", "special"):
+                receivers.add(alias)
+
+        replacement_for: Dict[VirtualObjectNode, Node] = {}
+        for alias, param in per_object.items():
+            obj_state = state.get_state(alias)
+            if not obj_state.is_virtual:
+                replacement_for[alias] = obj_state.materialized_value
+                continue
+            if param.classification == "unused" and \
+                    alias not in receivers and \
+                    obj_state.lock_count == 0:
+                # The callee never touches the parameter: null it and
+                # keep the object virtual.  Never for receivers — the
+                # VM dispatches on them.
+                replacement_for[alias] = self.graph.constant(None)
+                self._record_event(state, alias, node, "nulled_arg")
+                continue
+            if param.borrowable and obj_state.lock_count == 0 and \
+                    self._entries_borrowable(state, alias):
+                replacement_for[alias] = borrow_materialized(
+                    self.program, state, alias, node, self.effects)
+                self._record_event(state, alias, node, "borrowed")
+                continue
+            replacement_for[alias] = self.materialize(state, alias,
+                                                      node)
+        for argument in arguments:
+            alias = state.get_alias(self.resolve(argument))
+            if alias is not None:
+                self.effects.replace_input(node, argument,
+                                           replacement_for[alias])
+
+    def _entries_borrowable(self, state: PEAState,
+                            virtual_object: VirtualObjectNode) -> bool:
+        """A borrow copies the entry values verbatim: every entry must
+        be a real value (a nested still-virtual object would need its
+        own materialization — not worth a borrow)."""
+        for entry in state.get_state(virtual_object).entries:
+            if isinstance(entry, VirtualObjectNode) and \
+                    state.get_state(entry).is_virtual:
+                return False
+        return True
 
     # -- the default: inputs referencing tracked objects escape --------------------
 

@@ -9,12 +9,15 @@ One fuzz iteration:
    :class:`~repro.verify.verifier.GraphVerifier` running after every
    phase; collect *coverage keys* (IR node kinds in the final graph,
    PEA statistic buckets, plan-lowering fallback).
-3. Run the same warm-up + probe call sequence under three engines —
+3. Run the same warm-up + probe call sequence under four engines —
    the reference bytecode interpreter, the legacy
-   :class:`GraphInterpreter` backend and the threaded-code plan
-   backend — and compare per-call return values, heap allocation
-   counts, monitor balance, deopt counts and the final static object
-   graph (the rematerialized escape state).
+   :class:`GraphInterpreter` backend, the threaded-code plan backend,
+   and the plan backend with interprocedural escape summaries
+   (``escape_summaries=True``) — and compare per-call return values,
+   heap allocation counts, monitor balance, deopt counts and the final
+   static object graph (the rematerialized escape state).  The
+   summary engine must match the plan engine on every observable and
+   may only *lower* the allocation count.
 4. Programs that exercise new coverage are queued for mutation; a
    mismatch or verifier failure is delta-debugged down to a minimal
    reproducer (:mod:`repro.verify.shrink`) and persisted to the
@@ -191,15 +194,16 @@ def run_engine_interpreter(make_program: Callable[[], object],
 
 def run_engine_vm(make_program: Callable[[], object], backend: str,
                   probes=PROBE_CALLS,
-                  cache: Optional[CompilationCache] = None
-                  ) -> EngineOutcome:
+                  cache: Optional[CompilationCache] = None,
+                  escape_summaries: bool = False) -> EngineOutcome:
     program = make_program()
     # osr_threshold sits below the hot-loop generator shape's trip
     # count so "hot loop in a cold method" programs tier up at the
     # backedge during the very first call.
     config = CompilerConfig.partial_escape(
         compile_threshold=3, osr_threshold=25,
-        execution_backend=backend)
+        execution_backend=backend,
+        escape_summaries=escape_summaries)
     vm = VM(program, config, cache=cache)
     for _ in range(WARM_CALLS):
         vm.call(ENTRY, *WARM_ARGS)
@@ -255,6 +259,27 @@ def compare_outcomes(outcomes: Dict[str, EngineOutcome]
                 f"deopts={legacy.deopts} osr={legacy.osr_entries}; plan "
                 f"monitors={plan.monitor_enters} deopts={plan.deopts} "
                 f"osr={plan.osr_entries}")
+    summaries = outcomes.get("summaries")
+    if summaries is not None:
+        # Interprocedural escape summaries are a pure optimization:
+        # everything observable must match the summary-less plan engine
+        # (results/statics already checked against the interpreter
+        # above), and heap allocations may only go *down*.
+        if (summaries.monitor_enters != plan.monitor_enters
+                or summaries.deopts != plan.deopts
+                or summaries.osr_entries != plan.osr_entries):
+            return ("summary-mismatch",
+                    f"summaries monitors={summaries.monitor_enters} "
+                    f"deopts={summaries.deopts} "
+                    f"osr={summaries.osr_entries}; plan "
+                    f"monitors={plan.monitor_enters} "
+                    f"deopts={plan.deopts} osr={plan.osr_entries}")
+        if summaries.allocations > plan.allocations:
+            return ("summary-alloc-mismatch",
+                    f"escape summaries allocated "
+                    f"{summaries.allocations} > baseline "
+                    f"{plan.allocations} — summaries must never add "
+                    "heap allocations")
     return None
 
 
@@ -313,7 +338,9 @@ def check_source(source: str,
             ("interp", run_engine_interpreter),
             ("legacy", lambda p: run_engine_vm(p, "legacy",
                                                cache=cache)),
-            ("plan", lambda p: run_engine_vm(p, "plan", cache=cache))):
+            ("plan", lambda p: run_engine_vm(p, "plan", cache=cache)),
+            ("summaries", lambda p: run_engine_vm(
+                p, "plan", cache=cache, escape_summaries=True))):
         try:
             outcomes[name] = runner(make_program)
         except GraphVerificationError as error:
@@ -380,7 +407,7 @@ def save_corpus_entry(corpus_dir: str, name: str,
 def replay_corpus_entry(jasm_path: str,
                         cache: Optional[CompilationCache] = None
                         ) -> Optional[Tuple[str, str]]:
-    """Re-run one persisted reproducer under all three engines and
+    """Re-run one persisted reproducer under all four engines and
     check it against its recorded expectations.  Returns ``None`` when
     everything still agrees, else ``(category, detail)``."""
     from ..bytecode.asmtext import assemble
@@ -398,6 +425,8 @@ def replay_corpus_entry(jasm_path: str,
         "legacy": run_engine_vm(make_program, "legacy", probes,
                                 cache=cache),
         "plan": run_engine_vm(make_program, "plan", probes, cache=cache),
+        "summaries": run_engine_vm(make_program, "plan", probes,
+                                   cache=cache, escape_summaries=True),
     }
     expected = meta["expected"]
     reference = outcomes["interp"]

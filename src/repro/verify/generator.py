@@ -127,6 +127,19 @@ class GeneratedProgram:
             class Main {{
                 static Data g0;
                 static int gi;
+                static int probe(Data t, int k) {{
+                    int acc = t.f0 * 3 + t.f1;
+                    acc = acc + (t.f0 + 1) * (t.f1 + 7);
+                    acc = acc + (t.f0 & 63) * 9 + (t.f1 & 31);
+                    acc = acc + (t.f0 + t.f1) * 13;
+                    acc = acc + (t.f0 * 2 + t.f1 * 17);
+                    acc = acc + (t.f0 & 127) + t.f1 * 29;
+                    acc = acc + (t.f0 * 5 + (t.f1 & 15));
+                    acc = acc + ((t.f0 & 3) * 21 + (t.f1 & 7));
+                    acc = acc + (t.f0 * 23 + t.f1 * 7);
+                    acc = acc + ((t.f1 & 255) + t.f0 * 11);
+                    return (acc + k) & 65535;
+                }}
                 static int h2(int a, int b) {{
                     {rendered['h2']}
                 }}
@@ -233,7 +246,7 @@ class ProgramGenerator:
                  "read_global", "if", "loop", "sync", "call",
                  "branch_escape", "branch_escape", "loop_virtual",
                  "array_mix", "sync_escape", "deopt_window",
-                 "hot_loop"])
+                 "hot_loop", "borrow_call"])
             if kind in ("if", "loop", "sync", "branch_escape",
                         "loop_virtual", "sync_escape",
                         "deopt_window", "hot_loop") and depth >= 2:
@@ -393,6 +406,23 @@ class ProgramGenerator:
                     f"x{self._int(0, self.INT_LOCALS - 1)} = "
                     f"{var}.f0 + {var}.f1;"))
                 budget -= 3
+            elif kind == "borrow_call":
+                # A fresh object passed to Main.probe — a helper too
+                # big to inline that only *reads* its parameter.
+                # Without interprocedural summaries the call
+                # materializes the object; with ``escape_summaries``
+                # it stays virtual (the fuzz oracle checks the two
+                # configurations behave identically, allocations
+                # apart).
+                var = self.fresh_name("t")
+                x = self._int(0, self.INT_LOCALS - 1)
+                result.append(Stmt.leaf(
+                    f"Data {var} = new Data(); "
+                    f"{var}.f0 = {self.int_expr(1)}; "
+                    f"x{x} = x{x} + probe({var}, {self.int_expr(1)}); "
+                    f"x{self._int(0, self.INT_LOCALS - 1)} = "
+                    f"{var}.f0 + {var}.f1;"))
+                budget -= 2
             elif kind == "deopt_window":
                 # A cold branch that allocates, links and escapes: when
                 # a probe call finally takes it, the deoptimizer must

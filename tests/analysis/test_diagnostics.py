@@ -1,0 +1,319 @@
+"""Lint passes: at least one positive and one negative case each, at
+the level (bytecode or IR) the pass actually inspects."""
+
+from repro.analysis.diagnostics import (check_dead_stores,
+                                        check_monitor_balance,
+                                        check_redundant_null_checks,
+                                        lint_program)
+from repro.bytecode.asmtext import assemble
+from repro.lang import compile_source
+
+
+def findings_by_pass(findings):
+    by_pass = {}
+    for finding in findings:
+        by_pass.setdefault(finding.pass_name, []).append(finding)
+    return by_pass
+
+
+# -- monitor-balance -----------------------------------------------------------
+
+
+MONITOR_BAD = """
+class Data
+  field int f0
+
+class Main
+  method naked_exit(Data) -> int static locals=1
+    load 0
+    monitorexit
+    const 0
+    return_value
+
+  method locked_return(Data) -> int static locals=1
+    load 0
+    monitorenter
+    const 0
+    return_value
+"""
+
+MONITOR_GOOD = """
+class Data
+  field int f0
+
+class Main
+  method balanced(Data) -> int static locals=1
+    load 0
+    monitorenter
+    load 0
+    getfield Data.f0
+    load 0
+    monitorexit
+    return_value
+"""
+
+
+def test_monitor_balance_positive():
+    program = assemble(MONITOR_BAD, verify=False)
+    findings = check_monitor_balance(program)
+    messages = {(f.method, f.message) for f in findings}
+    assert ("Main.naked_exit",
+            "monitorexit may run with no monitor held") in messages
+    assert ("Main.locked_return",
+            "return may leave a monitor locked") in messages
+
+
+def test_monitor_balance_negative():
+    program = assemble(MONITOR_GOOD, verify=False)
+    assert check_monitor_balance(program) == []
+
+
+def test_monitor_balance_branch_dependent_depth():
+    # One path locks, the other does not; the merged exit may run
+    # unlocked — a finding at the exit *and* at the locked return.
+    source = """
+class Data
+  field int f0
+
+class Main
+  method maybe(Data, int) -> int static locals=2
+    load 1
+    const 0
+    if_le skip
+    load 0
+    monitorenter
+  skip:
+    load 0
+    monitorexit
+    const 0
+    return_value
+"""
+    program = assemble(source, verify=False)
+    findings = check_monitor_balance(program)
+    assert any(f.message == "monitorexit may run with no monitor held"
+               for f in findings)
+
+
+# -- redundant-null-check ------------------------------------------------------
+
+
+NULL_FRESH = """
+class Data
+  field int f0
+
+class Main
+  method fresh() -> int static locals=1
+    new Data
+    store 0
+    load 0
+    if_null taken
+    const 0
+    return_value
+  taken:
+    const 1
+    return_value
+"""
+
+NULL_GUARDED = """
+class Data
+  field int f0
+
+class Main
+  method guarded(Data) -> int static locals=2
+    load 0
+    getfield Data.f0
+    store 1
+    load 0
+    if_null taken
+    load 1
+    return_value
+  taken:
+    const 7
+    return_value
+"""
+
+NULL_OK = """
+class Data
+  field int f0
+
+class Main
+  method ok(Data) -> int static locals=1
+    load 0
+    if_null taken
+    const 0
+    return_value
+  taken:
+    const 1
+    return_value
+"""
+
+
+def test_null_check_on_fresh_allocation_positive():
+    program = assemble(NULL_FRESH)
+    findings = check_redundant_null_checks(program)
+    assert len(findings) == 1
+    assert "fresh allocation" in findings[0].message
+    assert findings[0].method == "Main.fresh"
+
+
+def test_null_check_dominated_by_guard_positive():
+    # The getfield's implicit null_check guard dominates the explicit
+    # if_null on the same value: the check can never be true.
+    program = assemble(NULL_GUARDED)
+    findings = check_redundant_null_checks(program)
+    assert any("dominated by a null_check guard" in f.message
+               for f in findings)
+
+
+def test_first_null_check_is_not_flagged():
+    program = assemble(NULL_OK)
+    assert check_redundant_null_checks(program) == []
+
+
+# -- dead-store-to-virtual -----------------------------------------------------
+
+
+DEAD_STORE = """
+class Data
+  field int f0
+
+class Main
+  method dead() -> int static locals=1
+    new Data
+    store 0
+    load 0
+    const 1
+    putfield Data.f0
+    load 0
+    const 2
+    putfield Data.f0
+    load 0
+    getfield Data.f0
+    return_value
+"""
+
+LIVE_STORE = """
+class Data
+  field int f0
+
+class Main
+  method live() -> int static locals=2
+    new Data
+    store 0
+    load 0
+    const 1
+    putfield Data.f0
+    load 0
+    getfield Data.f0
+    store 1
+    load 0
+    const 2
+    putfield Data.f0
+    load 1
+    return_value
+"""
+
+BRANCH_STORE = """
+class Data
+  field int f0
+
+class Main
+  method maybe(int) -> int static locals=2
+    new Data
+    store 1
+    load 1
+    const 1
+    putfield Data.f0
+    load 0
+    const 0
+    if_le skip
+    load 1
+    const 2
+    putfield Data.f0
+  skip:
+    load 1
+    getfield Data.f0
+    return_value
+"""
+
+
+def test_dead_store_positive():
+    program = assemble(DEAD_STORE)
+    findings = check_dead_stores(program)
+    assert len(findings) == 1
+    assert "overwritten before any read" in findings[0].message
+    assert findings[0].method == "Main.dead"
+
+
+def test_intervening_read_keeps_store_alive():
+    program = assemble(LIVE_STORE)
+    assert check_dead_stores(program) == []
+
+
+def test_maybe_overwritten_store_is_not_flagged():
+    # Must-analysis: overwritten on only one branch is not dead.
+    program = assemble(BRANCH_STORE)
+    assert check_dead_stores(program) == []
+
+
+def test_escaping_allocation_is_not_tracked():
+    # The same double store, but the object escapes to a static — loads
+    # through the static could observe the first store's window.
+    source = """
+class Data
+  field int f0
+
+class Main
+  field static Data g
+
+  method escapes() -> int static locals=1
+    new Data
+    store 0
+    load 0
+    putstatic Main.g
+    load 0
+    const 1
+    putfield Data.f0
+    load 0
+    const 2
+    putfield Data.f0
+    load 0
+    getfield Data.f0
+    return_value
+"""
+    program = assemble(source)
+    assert check_dead_stores(program) == []
+
+
+# -- the combined driver -------------------------------------------------------
+
+
+def test_lint_program_orders_and_filters_passes():
+    program = assemble(DEAD_STORE)
+    all_findings = lint_program(program)
+    only_monitor = lint_program(program, passes=["monitor-balance"])
+    assert only_monitor == []
+    assert len(all_findings) == 1
+    assert all_findings[0].pass_name == "dead-store-to-virtual"
+
+
+def test_source_language_programs_lint_clean():
+    # Straight-line code from the source language compiles without any
+    # of the linted defects.
+    program = compile_source("""
+class Pair {
+    int a; int b;
+    Pair(int a, int b) { this.a = a; this.b = b; }
+}
+class Main {
+    static int main(int n) {
+        int acc = 0;
+        for (int i = 0; i < n; i = i + 1) {
+            Pair p = new Pair(i, i * 2);
+            acc = acc + p.a + p.b;
+        }
+        return acc;
+    }
+}
+""")
+    assert lint_program(program) == []

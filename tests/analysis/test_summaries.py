@@ -1,0 +1,211 @@
+"""Interprocedural escape summaries: per-parameter classifications on
+hand-written methods, transitive and recursive propagation, order
+independence, digest stability, and the ParamSummary join lattice."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.summaries import (MethodSummary, ParamEscape,
+                                      ParamSummary, SummaryDatabase,
+                                      SummaryView, summaries_for)
+from repro.bytecode.instructions import MethodRef
+from repro.lang import compile_source
+
+SOURCE = """
+class Box { int v; Box next; }
+class Sink { static Box kept; }
+class Main {
+    static int ro(Box b) { return b.v + 1; }
+    static int wr(Box b) { b.v = 5; return 0; }
+    static Box ret(Box b) { return b; }
+    static int cap(Box b) { Sink.kept = b; return 0; }
+    static int link(Box a, Box b) { a.next = b; return 0; }
+    static int unused(Box b, int k) { return k * 2; }
+    static int locked(Box b) { synchronized (b) { return b.v + 1; } }
+    static int viaro(Box b) { return ro(b); }
+    static int viacap(Box b) { return cap(b); }
+    static int rec(Box b, int n) {
+        if (n <= 0) { return b.v + n; }
+        return rec(b, n - 1);
+    }
+}
+"""
+
+
+def summary_of(program, qualified):
+    return summaries_for(program).summary(program.method(qualified))
+
+
+def test_classifications():
+    program = compile_source(SOURCE)
+    cases = {
+        "Main.ro": ParamEscape.READONLY,
+        "Main.wr": ParamEscape.NO_ESCAPE,
+        "Main.ret": ParamEscape.RETURNED,
+        "Main.cap": ParamEscape.CAPTURED,
+        "Main.unused": ParamEscape.UNUSED,
+        "Main.locked": ParamEscape.NO_ESCAPE,
+    }
+    for qualified, expected in cases.items():
+        assert summary_of(program, qualified).param(0).classification \
+            == expected, qualified
+
+
+def test_borrowable_is_exactly_the_harmless_cases():
+    program = compile_source(SOURCE)
+    assert summary_of(program, "Main.ro").param(0).borrowable
+    assert summary_of(program, "Main.unused").param(0).borrowable
+    for escaping in ("Main.wr", "Main.ret", "Main.cap", "Main.locked",
+                     "Main.link"):
+        assert not summary_of(program, escaping).param(1 if
+            escaping == "Main.link" else 0).borrowable, escaping
+
+
+def test_arg_escape_records_flow_target():
+    program = compile_source(SOURCE)
+    summary = summary_of(program, "Main.link")
+    # b is stored into a's subgraph: arg-escape flowing to param 0.
+    assert summary.param(1).classification == ParamEscape.ARG_ESCAPE
+    assert summary.param(1).flows_to == (0,)
+    # a itself is only written, not escaped.
+    assert summary.param(0).classification == ParamEscape.NO_ESCAPE
+
+
+def test_transitive_propagation_through_calls():
+    program = compile_source(SOURCE)
+    assert summary_of(program, "Main.viaro").param(0).classification \
+        == ParamEscape.READONLY
+    assert summary_of(program, "Main.viacap").param(0).classification \
+        == ParamEscape.CAPTURED
+
+
+def test_recursion_converges_below_top():
+    program = compile_source(SOURCE)
+    summary = summary_of(program, "Main.rec")
+    assert not summary.is_top
+    assert summary.param(0).classification == ParamEscape.READONLY
+
+
+def test_unresolvable_ref_is_top():
+    program = compile_source(SOURCE)
+    database = summaries_for(program)
+    summary, return_type = database.invoke_summary(
+        MethodRef("NoSuchClass", "nope", 1))
+    assert summary.is_top
+    assert summary.param(0).captured
+    assert return_type == "Object"
+
+
+def test_reordering_methods_preserves_digests():
+    """Summaries (hence cache facts) are independent of declaration
+    order — the fixpoint visits methods in sorted qualified-name
+    order."""
+    program_a = compile_source(SOURCE)
+    # Same bodies, classes moved after Main, Main's methods reversed.
+    reordered = """
+class Main {
+    static int rec(Box b, int n) {
+        if (n <= 0) { return b.v + n; }
+        return rec(b, n - 1);
+    }
+    static int viacap(Box b) { return cap(b); }
+    static int viaro(Box b) { return ro(b); }
+    static int locked(Box b) { synchronized (b) { return b.v + 1; } }
+    static int unused(Box b, int k) { return k * 2; }
+    static int link(Box a, Box b) { a.next = b; return 0; }
+    static int cap(Box b) { Sink.kept = b; return 0; }
+    static Box ret(Box b) { return b; }
+    static int wr(Box b) { b.v = 5; return 0; }
+    static int ro(Box b) { return b.v + 1; }
+}
+class Sink { static Box kept; }
+class Box { int v; Box next; }
+"""
+    program_b = compile_source(reordered)
+    database_a = summaries_for(program_a)
+    database_b = summaries_for(program_b)
+    for qualified in ("Main.ro", "Main.wr", "Main.ret", "Main.cap",
+                      "Main.link", "Main.unused", "Main.locked",
+                      "Main.viaro", "Main.viacap", "Main.rec"):
+        assert database_a.digest(program_a.method(qualified)) == \
+            database_b.digest(program_b.method(qualified)), qualified
+
+
+def test_digest_stable_across_fresh_databases():
+    program_a = compile_source(SOURCE)
+    program_b = compile_source(SOURCE)
+    database_a = SummaryDatabase(program_a)
+    database_b = SummaryDatabase(program_b)
+    for method in program_a.all_methods():
+        if method.code is None:
+            continue
+        assert database_a.digest(method) == \
+            database_b.digest(program_b.method(method.qualified_name))
+
+
+def test_summaries_for_memoizes_per_program():
+    program = compile_source(SOURCE)
+    assert summaries_for(program) is summaries_for(program)
+
+
+def test_view_records_consulted_digests_as_facts():
+    program = compile_source(SOURCE)
+    view = SummaryView(summaries_for(program))
+    method = program.method("Main.ro")
+    assert view.summary_for_call(
+        MethodRef("Main", "ro", 1)) is not None
+    facts = view.facts()
+    assert isinstance(facts, tuple)
+    assert facts == (("escape_summary", "Main.ro",
+                      summaries_for(program).digest(method)),)
+
+
+# -- the ParamSummary join lattice --------------------------------------------
+
+_SEVERITY = [ParamEscape.UNUSED, ParamEscape.READONLY,
+             ParamEscape.NO_ESCAPE, ParamEscape.RETURNED,
+             ParamEscape.ARG_ESCAPE, ParamEscape.CAPTURED]
+
+flags = st.booleans()
+param_summaries = st.builds(
+    ParamSummary, used=flags, read=flags, written=flags, locked=flags,
+    returned=flags, captured=flags,
+    flows_to=st.lists(st.integers(0, 3), max_size=3, unique=True)
+        .map(lambda xs: tuple(sorted(xs))))
+
+
+@settings(max_examples=200, deadline=None)
+@given(param_summaries, param_summaries)
+def test_join_is_an_upper_bound(a, b):
+    joined = a.join(b)
+    for name in ("used", "read", "written", "locked", "returned",
+                 "captured"):
+        assert getattr(joined, name) == \
+            (getattr(a, name) or getattr(b, name))
+    assert set(joined.flows_to) == set(a.flows_to) | set(b.flows_to)
+    # Classification severity never decreases under join.
+    assert _SEVERITY.index(joined.classification) >= max(
+        _SEVERITY.index(a.classification),
+        _SEVERITY.index(b.classification))
+    # Borrowability is the conjunction: a borrow is only safe when
+    # every joined behaviour allows it.
+    assert joined.borrowable == (a.borrowable and b.borrowable)
+
+
+@settings(max_examples=100, deadline=None)
+@given(param_summaries, param_summaries, param_summaries)
+def test_join_lattice_laws(a, b, c):
+    assert a.join(a) == a
+    assert a.join(b) == b.join(a)
+    assert a.join(b).join(c) == a.join(b.join(c))
+
+
+@settings(max_examples=100, deadline=None)
+@given(param_summaries, param_summaries)
+def test_method_summary_join_is_pointwise(a, b):
+    ma = MethodSummary((a,))
+    mb = MethodSummary((b,))
+    assert ma.join(mb).params == (a.join(b),)
+    # Width mismatch degrades soundly to top.
+    wide = MethodSummary((a, b))
+    assert ma.join(wide).is_top

@@ -99,3 +99,107 @@ def test_fuzz_smoke(capsys, tmp_path):
     out = capsys.readouterr().out
     assert "ran 3 programs" in out
     assert "0 failure(s)" in out
+
+
+# -- analyze / lint (exit contract: 0 clean, 1 findings, 2 error) -------------
+
+DEAD_STORE_JASM = """
+class Data
+  field int f0
+
+class Main
+  method dead() -> int static locals=1
+    new Data
+    store 0
+    load 0
+    const 1
+    putfield Data.f0
+    load 0
+    const 2
+    putfield Data.f0
+    load 0
+    getfield Data.f0
+    return_value
+"""
+
+
+@pytest.fixture
+def dirty_file(tmp_path):
+    path = tmp_path / "dirty.jasm"
+    path.write_text(DEAD_STORE_JASM)
+    return str(path)
+
+
+def test_analyze_clean_program_exits_zero(program_file, capsys):
+    assert main(["analyze", program_file]) == 0
+    out = capsys.readouterr().out
+    assert "lint: clean" in out
+    assert "virtualized" in out
+
+
+def test_lint_finding_exits_one(dirty_file, capsys):
+    assert main(["lint", dirty_file]) == 1
+    out = capsys.readouterr().out
+    assert "dead-store-to-virtual" in out
+    assert "Main.dead" in out
+
+
+def test_analyze_missing_path_exits_two(tmp_path, capsys):
+    assert main(["analyze", str(tmp_path / "nope.mj")]) == 2
+    assert "nope.mj" in capsys.readouterr().err
+
+
+def test_analyze_unparsable_file_exits_two(tmp_path, capsys):
+    path = tmp_path / "broken.mj"
+    path.write_text("class {{{")
+    assert main(["analyze", str(path)]) == 2
+    assert "broken.mj" in capsys.readouterr().err
+
+
+def test_analyze_json_aggregates_per_path(program_file, dirty_file,
+                                          capsys):
+    import json
+
+    assert main(["analyze", "--json", program_file, dirty_file]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {program_file, dirty_file}
+    assert payload[program_file]["findings"] == []
+    findings = payload[dirty_file]["findings"]
+    assert findings and \
+        findings[0]["pass"] == "dead-store-to-virtual"
+
+
+def test_analyze_directory_recurses(tmp_path, program_file, capsys):
+    nested = tmp_path / "sub"
+    nested.mkdir()
+    (nested / "clean.mj").write_text(SOURCE)
+    assert main(["analyze", str(tmp_path)]) == 0
+    assert "clean.mj" in capsys.readouterr().out
+
+
+def test_analyze_reports_escape_sites(tmp_path, capsys):
+    # A capturing helper: the allocation must be attributed to the
+    # static store it flows into.
+    path = tmp_path / "escape.mj"
+    path.write_text("""
+class Box { int v; }
+class Sink {
+    static Box kept;
+    static int keep(Box b) { Sink.kept = b; return b.v; }
+}
+class Main {
+    static int run(int n) {
+        int acc = 0;
+        for (int i = 0; i < n; i = i + 1) {
+            Box b = new Box();
+            b.v = i;
+            acc = acc + Sink.keep(b);
+        }
+        return acc;
+    }
+}
+""")
+    assert main(["analyze", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "escape site" in out
+    assert "materialized" in out
