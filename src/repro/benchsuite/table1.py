@@ -139,8 +139,9 @@ def generate(suites: Sequence[str], quick: bool = False,
     if json_path:
         analysis_ab = _analysis_ab(results, backend=backend,
                                    cache=cache, osr=osr)
+        codegen_ab = _codegen_ab(results, osr=osr)
         _write_json(json_path, results, wall_clock, jobs, backend, quick,
-                    cache, osr, analysis_ab)
+                    cache, osr, analysis_ab, codegen_ab)
     return results
 
 
@@ -175,6 +176,56 @@ def _analysis_ab(results: dict, backend: str,
                 "deopts_identical": summ.deopts == pea.deopts,
             }
     return section
+
+
+def _codegen_ab(results: dict, osr: bool) -> dict:
+    """Wall-clock A/B of the codegen backend against the threaded-code
+    plan backend over every workload the run covered (uncached, so
+    neither side hides behind warm-up elision).  The simulated metrics
+    must be bit-identical — the backends differ only in how fast real
+    time passes — so the section records per-workload wall-clock
+    speedups plus the identity verdict."""
+    workloads = [c.workload for comparisons in results.values()
+                 for c in comparisons]
+    per_workload = {}
+    totals = {"plan": 0.0, "codegen": 0.0}
+    identical = True
+    for workload in workloads:
+        seconds = {}
+        measured = {}
+        for backend in ("plan", "codegen"):
+            config = CompilerConfig.partial_escape(
+                execution_backend=backend, osr=osr)
+            started = time.perf_counter()
+            measured[backend] = run_workload(workload, config)
+            seconds[backend] = time.perf_counter() - started
+            totals[backend] += seconds[backend]
+        # Bit-identity scope: everything deterministic.  Simulated
+        # cycles are excluded — codegen pre-folds each block's cost
+        # into one constant, so the float summation *order* differs
+        # from the plan backend's per-node accumulation.
+        plan_m, codegen_m = measured["plan"], measured["codegen"]
+        same = all(
+            getattr(plan_m, name) == getattr(codegen_m, name)
+            for name in ("checksum", "kb_per_iteration",
+                         "allocations_per_iteration",
+                         "monitor_ops_per_iteration", "deopts"))
+        identical = identical and same
+        per_workload[workload.name] = {
+            "plan_seconds": round(seconds["plan"], 3),
+            "codegen_seconds": round(seconds["codegen"], 3),
+            "speedup": round(seconds["plan"]
+                             / max(seconds["codegen"], 1e-9), 3),
+            "metrics_identical": same,
+        }
+    return {
+        "plan_seconds": round(totals["plan"], 3),
+        "codegen_seconds": round(totals["codegen"], 3),
+        "speedup": round(totals["plan"]
+                         / max(totals["codegen"], 1e-9), 3),
+        "metrics_identical": identical,
+        "workloads": per_workload,
+    }
 
 
 def _osr_warmup_ab(workload_name: str = "h2") -> dict:
@@ -219,7 +270,8 @@ def _write_json(path: str, results: dict, wall_clock: dict, jobs: int,
                 backend: str, quick: bool,
                 cache: Optional[CompilationCache] = None,
                 osr: bool = True,
-                analysis_ab: Optional[dict] = None) -> None:
+                analysis_ab: Optional[dict] = None,
+                codegen_ab: Optional[dict] = None) -> None:
     """Benchmark metrics for CI tracking (BENCH_table1.json).
 
     ``suites`` holds only deterministic, simulated metrics — identical
@@ -291,6 +343,8 @@ def _write_json(path: str, results: dict, wall_clock: dict, jobs: int,
             "osr_compilations": osr_compilations,
             "osr_entries": osr_entries,
         }
+    if codegen_ab is not None:
+        payload["timing"]["codegen_ab"] = codegen_ab
     if osr:
         # Demonstrate the tentpole's point on real wall-clock: one
         # loop-heavy workload warmed with and without OSR.
@@ -315,7 +369,8 @@ def main(argv=None):
                         help="fewer warmup iterations")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="run workloads in N parallel processes")
-    parser.add_argument("--backend", choices=["plan", "legacy"],
+    parser.add_argument("--backend",
+                        choices=["codegen", "plan", "legacy"],
                         default="plan",
                         help="compiled-code execution backend")
     parser.add_argument("--json", metavar="PATH", default=None,

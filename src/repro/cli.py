@@ -11,6 +11,7 @@ Subcommands::
     python -m repro cache stats|clear [--cache-dir D]
     python -m repro table1 [...]        (delegates to benchsuite.table1)
     python -m repro comparison [...]    (delegates to .comparison)
+    python -m repro jitdiff [...]       (delegates to .jitdiff)
 
 ``analyze`` and ``lint`` accept source files, ``.jasm`` assembly files,
 or directories (searched recursively for both) and share one exit-code
@@ -268,11 +269,11 @@ def main(argv=None) -> int:
     # argparse.REMAINDER refuses to swallow leading option-style tokens
     # (bpo-17050), so `repro table1 --suite ...` never reaches the
     # delegate; hand the benchsuite subcommands their argv directly.
-    if argv and argv[0] in ("table1", "comparison"):
+    if argv and argv[0] in ("table1", "comparison", "jitdiff"):
         import importlib
         module = importlib.import_module(f"repro.benchsuite.{argv[0]}")
-        module.main(argv[1:])
-        return 0
+        result = module.main(argv[1:])
+        return int(result or 0)
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Partial Escape Analysis reproduction toolchain")
@@ -356,7 +357,8 @@ def main(argv=None) -> int:
     cache_parser.set_defaults(func=cmd_cache)
 
     for name, module in (("table1", "table1"),
-                         ("comparison", "comparison")):
+                         ("comparison", "comparison"),
+                         ("jitdiff", "jitdiff")):
         bench_parser = subparsers.add_parser(
             name, help=f"run the benchsuite {name} report",
             add_help=False)
@@ -366,8 +368,7 @@ def main(argv=None) -> int:
             import importlib
             mod = importlib.import_module(
                 f"repro.benchsuite.{_module}")
-            mod.main(args.rest)
-            return 0
+            return int(mod.main(args.rest) or 0)
 
         bench_parser.set_defaults(func=delegate)
 

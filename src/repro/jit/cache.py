@@ -65,7 +65,10 @@ from .options import CompilerConfig
 #: 3: ``escape_summaries`` joined the pipeline key, PEAResult payloads
 #: carry materialization events, entries may carry ``escape_summary``
 #: facts.
-CACHE_FORMAT = 3
+#: 4: payloads gained ``codegen`` — the generated-Python source (text +
+#: digest + node-id link tables) of the codegen backend, re-``exec``-ed
+#: on warm load.
+CACHE_FORMAT = 4
 
 
 def default_cache_dir() -> str:
@@ -356,6 +359,11 @@ class CachedCompilation:
     #: ``"unsupported"`` when plan lowering failed at store time, or
     #: ``None`` when the storing compiler never built a plan.
     plan_order: Any
+    #: Generated-Python payload of the codegen backend
+    #: (:meth:`repro.runtime.codegen.CodegenPlan.payload`),
+    #: ``"unsupported"`` when structurizing failed at store time, or
+    #: ``None`` when the storing compiler never tried.
+    codegen: Any
     #: Handle for eviction (used by the VM on deopt invalidation).
     entry: "CacheEntry"
 
@@ -426,7 +434,8 @@ class CompilationCache:
                 self.stats.hits += 1
                 return CachedCompilation(
                     payload["graph"], payload["ea_result"],
-                    payload["node_count"], payload["plan_order"], entry)
+                    payload["node_count"], payload["plan_order"],
+                    payload.get("codegen"), entry)
             if saw_candidate:
                 self.stats.validation_failures += 1
             self.stats.misses += 1
@@ -438,7 +447,8 @@ class CompilationCache:
               config: CompilerConfig, profile: Optional[Profile],
               facts: Tuple[tuple, ...], graph: Graph, ea_result: Any,
               node_count: int, plan_order: Any,
-              entry_bci: Optional[int] = None) -> Optional[CacheEntry]:
+              entry_bci: Optional[int] = None,
+              codegen: Any = None) -> Optional[CacheEntry]:
         started = time.perf_counter()
         try:
             key = self.compilation_key(program, method, config,
@@ -446,7 +456,8 @@ class CompilationCache:
             try:
                 blob = dump_graph_payload(
                     {"graph": graph, "ea_result": ea_result,
-                     "node_count": node_count, "plan_order": plan_order},
+                     "node_count": node_count, "plan_order": plan_order,
+                     "codegen": codegen},
                     program)
             except Exception:
                 return None  # unpicklable graph: simply don't cache

@@ -30,6 +30,7 @@ from ..opt.inlining import InliningPhase
 from ..opt.phase import PhasePlan
 from ..pea.equi_escape import EquiEscapePhase
 from ..pea.partial_escape import PartialEscapePhase, PEAResult
+from ..runtime.codegen import CodegenError, CodegenPlan
 from ..runtime.plan import ExecutionPlan, PlanError
 from .cache import CacheEntry, CompilationCache, RecordingProfile
 from .options import CompilerConfig, EscapeAnalysisKind
@@ -51,6 +52,10 @@ class CompilationResult:
     cache_entry: Optional[CacheEntry] = None
     #: True when this result was served from the cache.
     cache_hit: bool = False
+    #: Generated-Python lowering; only built under the ``codegen``
+    #: backend, ``None`` when the graph cannot be structurized (the VM
+    #: then uses ``plan``, which is built as the fallback).
+    codegen: Optional[CodegenPlan] = None
 
 
 class Compiler:
@@ -92,11 +97,15 @@ class Compiler:
             cached = self.cache.lookup(self.program, method, config,
                                        self.profile, entry_bci=osr_bci)
             if cached is not None:
+                codegen_plan = self._codegen_from_payload(
+                    cached.graph, cached.codegen, method, osr_bci)
+                plan = None if codegen_plan is not None else \
+                    self._plan_from_order(cached.graph,
+                                          cached.plan_order)
                 return CompilationResult(
                     cached.graph, cached.ea_result, cached.node_count,
-                    self._plan_from_order(cached.graph,
-                                          cached.plan_order),
-                    cache_entry=cached.entry, cache_hit=True)
+                    plan, cache_entry=cached.entry, cache_hit=True,
+                    codegen=codegen_plan)
             profile = RecordingProfile(self.profile) \
                 if self.profile is not None else None
         else:
@@ -181,7 +190,20 @@ class Compiler:
                      and ea_phase.last_result is not None else PEAResult())
         execution_plan = None
         plan_order = None
-        if config.execution_backend == "plan":
+        codegen_plan = None
+        codegen_payload = None
+        if config.execution_backend == "codegen":
+            try:
+                codegen_plan = CodegenPlan(
+                    graph, self.program, config.cost_model,
+                    self._codegen_label(method, osr_bci))
+                codegen_payload = codegen_plan.payload()
+            except CodegenError:
+                codegen_plan = None  # fall back to the plan backend
+                codegen_payload = "unsupported"
+        if config.execution_backend == "plan" or (
+                config.execution_backend == "codegen"
+                and codegen_plan is None):
             try:
                 execution_plan = ExecutionPlan(graph, self.program,
                                                config.cost_model)
@@ -201,9 +223,45 @@ class Compiler:
             entry = self.cache.store(
                 self.program, method, config, self.profile, facts,
                 graph, ea_result, graph.node_count(), plan_order,
-                entry_bci=osr_bci)
+                entry_bci=osr_bci, codegen=codegen_payload)
         return CompilationResult(graph, ea_result, graph.node_count(),
-                                 execution_plan, cache_entry=entry)
+                                 execution_plan, cache_entry=entry,
+                                 codegen=codegen_plan)
+
+    @staticmethod
+    def _codegen_label(method: JMethod,
+                       osr_bci: Optional[int]) -> str:
+        if osr_bci is None:
+            return method.qualified_name
+        return f"{method.qualified_name}@osr{osr_bci}"
+
+    def _codegen_from_payload(self, graph: Graph, payload, method: JMethod,
+                              osr_bci: Optional[int]
+                              ) -> Optional[CodegenPlan]:
+        """Re-link generated code from a cached payload.
+
+        A missing payload (stored by another backend) regenerates from
+        the graph; a corrupted or stale payload (digest mismatch, node
+        ids that no longer resolve) is treated as a clean miss and also
+        regenerates; an ``"unsupported"`` marker means structurizing
+        failed at store time, so (same graph) it would fail now.
+        """
+        if self.config.execution_backend != "codegen":
+            return None
+        if payload == "unsupported":
+            return None
+        if payload is not None:
+            try:
+                return CodegenPlan.from_payload(
+                    graph, self.program, self.config.cost_model, payload)
+            except CodegenError:
+                pass  # fall through: regenerate from the cached graph
+        try:
+            return CodegenPlan(graph, self.program,
+                               self.config.cost_model,
+                               self._codegen_label(method, osr_bci))
+        except CodegenError:
+            return None
 
     def _plan_from_order(self, graph: Graph,
                          plan_order) -> Optional[ExecutionPlan]:
@@ -213,7 +271,7 @@ class Compiler:
         plan-lowerable; an ``"unsupported"`` marker means lowering
         failed then, so (same graph) it would fail now — skip retrying.
         """
-        if self.config.execution_backend != "plan":
+        if self.config.execution_backend not in ("plan", "codegen"):
             return None
         if plan_order == "unsupported":
             return None

@@ -87,12 +87,17 @@ class CompilerConfig:
     #: the ``REPRO_VERIFY_IR`` environment variable; always on in the
     #: test suite.
     verify_ir: bool = field(default_factory=_default_verify_ir)
-    #: How compiled graphs are executed: ``"plan"`` lowers each graph to
+    #: How compiled graphs are executed: ``"codegen"`` emits specialized
+    #: Python source per graph and ``exec``s it (see
+    #: :mod:`repro.runtime.codegen`); ``"plan"`` lowers each graph to
     #: threaded code (pre-linked handler closures, see
     #: :mod:`repro.runtime.plan`); ``"legacy"`` walks the IR with the
     #: original :class:`~repro.runtime.graph_interpreter.GraphInterpreter`.
-    #: Both produce bit-identical metrics; the knob exists for
-    #: differential testing.
+    #: All three produce bit-identical checksums, allocations, monitors,
+    #: deopts and OSR entries; the knob trades speed for simplicity and
+    #: exists for differential testing.  Graphs the codegen structurizer
+    #: cannot express fall back per-method to ``"plan"``, then to the
+    #: GraphInterpreter.
     execution_backend: str = "plan"
     #: Record a per-node-kind execution histogram in
     #: :attr:`ExecutionStats.node_kind_executions` (used by ``--profile``).

@@ -24,6 +24,7 @@ from ..bytecode.classfile import JMethod, Program
 from ..bytecode.heap import Heap, HeapStats
 from ..bytecode.instructions import MethodRef
 from ..bytecode.interpreter import NO_OSR, Interpreter, Profile
+from ..runtime.codegen import BoundCode, CodegenError
 from ..runtime.costmodel import ExecutionStats
 from ..runtime.deopt import Deoptimizer
 from ..runtime.graph_interpreter import GraphInterpreter
@@ -64,12 +65,16 @@ class VM:
         #: backend); methods missing here execute via the
         #: GraphInterpreter fallback.
         self._bound_plans: Dict[JMethod, BoundPlan] = {}
+        #: Generated-Python functions bound to this VM (codegen
+        #: backend); preferred over ``_bound_plans`` when present.
+        self._bound_codegen: Dict[JMethod, BoundCode] = {}
         #: Methods that failed to compile (stay interpreted).
         self._uncompilable: Dict[JMethod, str] = {}
         #: On-stack-replacement variants, one per hot loop header.
         self.osr_compiled: Dict[Tuple[JMethod, int],
                                 CompilationResult] = {}
         self._osr_plans: Dict[Tuple[JMethod, int], BoundPlan] = {}
+        self._osr_codegen: Dict[Tuple[JMethod, int], BoundCode] = {}
         #: Loop headers whose OSR compilation failed (keep interpreting).
         self._osr_uncompilable: Dict[Tuple[JMethod, int], str] = {}
         #: Completed OSR transfers (observability; not a suite metric).
@@ -166,6 +171,14 @@ class VM:
                 return None  # stay interpreted, like a production VM
             raise
         self.compiled[method] = result
+        if result.codegen is not None:
+            try:
+                self._bound_codegen[method] = result.codegen.bind(
+                    self.heap, self.exec_stats, self._invoke_callback,
+                    self.deoptimizer,
+                    self.config.collect_node_histogram)
+            except CodegenError:
+                self._bound_codegen.pop(method, None)
         if result.plan is not None:
             try:
                 self._bound_plans[method] = result.plan.bind(
@@ -202,6 +215,9 @@ class VM:
         self.profile.record_osr_entry(method, bci)
         args = [locals_[slot]
                 for slot in compiled.graph.osr_local_slots]
+        code = self._osr_codegen.get(key)
+        if code is not None:
+            return code.execute(args)
         bound = self._osr_plans.get(key)
         if bound is not None:
             return bound.execute(args)
@@ -225,6 +241,14 @@ class VM:
                 return None
             raise
         self.osr_compiled[key] = result
+        if result.codegen is not None:
+            try:
+                self._osr_codegen[key] = result.codegen.bind(
+                    self.heap, self.exec_stats, self._invoke_callback,
+                    self.deoptimizer,
+                    self.config.collect_node_histogram)
+            except CodegenError:
+                self._osr_codegen.pop(key, None)
         if result.plan is not None:
             try:
                 self._osr_plans[key] = result.plan.bind(
@@ -241,6 +265,9 @@ class VM:
     def _execute_compiled(self, method: JMethod,
                           compiled: CompilationResult,
                           args: List[Any]) -> Any:
+        code = self._bound_codegen.get(method)
+        if code is not None:
+            return code.execute(args)
         bound = self._bound_plans.get(method)
         if bound is not None:
             return bound.execute(args)
@@ -284,9 +311,11 @@ class VM:
         if result is not None:
             invalidated.append(result)
         self._bound_plans.pop(method, None)
+        self._bound_codegen.pop(method, None)
         for key in [k for k in self.osr_compiled if k[0] is method]:
             invalidated.append(self.osr_compiled.pop(key))
             self._osr_plans.pop(key, None)
+            self._osr_codegen.pop(key, None)
             self._osr_uncompilable.pop(key, None)
         self.deopt_counts[method] = 0
         self.invalidations += 1

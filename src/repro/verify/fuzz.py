@@ -9,11 +9,12 @@ One fuzz iteration:
    :class:`~repro.verify.verifier.GraphVerifier` running after every
    phase; collect *coverage keys* (IR node kinds in the final graph,
    PEA statistic buckets, plan-lowering fallback).
-3. Run the same warm-up + probe call sequence under four engines —
+3. Run the same warm-up + probe call sequence under five engines —
    the reference bytecode interpreter, the legacy
    :class:`GraphInterpreter` backend, the threaded-code plan backend,
-   and the plan backend with interprocedural escape summaries
-   (``escape_summaries=True``) — and compare per-call return values,
+   the generated-Python codegen backend, and the plan backend with
+   interprocedural escape summaries (``escape_summaries=True``) — and
+   compare per-call return values,
    heap allocation counts, monitor balance, deopt counts and the final
    static object graph (the rematerialized escape state).  The
    summary engine must match the plan engine on every observable and
@@ -246,19 +247,24 @@ def compare_outcomes(outcomes: Dict[str, EngineOutcome]
                     f"{name} allocated {outcome.allocations} > "
                     f"interpreter {reference.allocations} — PEA must "
                     "never add dynamic allocations")
-    legacy, plan = outcomes["legacy"], outcomes["plan"]
-    if legacy.allocations != plan.allocations:
-        return ("alloc-mismatch",
-                f"legacy allocated {legacy.allocations}, plan "
-                f"{plan.allocations} (backends must be bit-identical)")
-    if (legacy.monitor_enters != plan.monitor_enters
-            or legacy.deopts != plan.deopts
-            or legacy.osr_entries != plan.osr_entries):
-        return ("backend-mismatch",
-                f"legacy monitors={legacy.monitor_enters} "
-                f"deopts={legacy.deopts} osr={legacy.osr_entries}; plan "
-                f"monitors={plan.monitor_enters} deopts={plan.deopts} "
-                f"osr={plan.osr_entries}")
+    plan = outcomes["plan"]
+    for name in ("legacy", "codegen"):
+        other = outcomes.get(name)
+        if other is None:
+            continue
+        if other.allocations != plan.allocations:
+            return ("alloc-mismatch",
+                    f"{name} allocated {other.allocations}, plan "
+                    f"{plan.allocations} (backends must be "
+                    "bit-identical)")
+        if (other.monitor_enters != plan.monitor_enters
+                or other.deopts != plan.deopts
+                or other.osr_entries != plan.osr_entries):
+            return ("backend-mismatch",
+                    f"{name} monitors={other.monitor_enters} "
+                    f"deopts={other.deopts} osr={other.osr_entries}; "
+                    f"plan monitors={plan.monitor_enters} "
+                    f"deopts={plan.deopts} osr={plan.osr_entries}")
     summaries = outcomes.get("summaries")
     if summaries is not None:
         # Interprocedural escape summaries are a pure optimization:
@@ -339,6 +345,8 @@ def check_source(source: str,
             ("legacy", lambda p: run_engine_vm(p, "legacy",
                                                cache=cache)),
             ("plan", lambda p: run_engine_vm(p, "plan", cache=cache)),
+            ("codegen", lambda p: run_engine_vm(p, "codegen",
+                                                cache=cache)),
             ("summaries", lambda p: run_engine_vm(
                 p, "plan", cache=cache, escape_summaries=True))):
         try:
@@ -407,7 +415,7 @@ def save_corpus_entry(corpus_dir: str, name: str,
 def replay_corpus_entry(jasm_path: str,
                         cache: Optional[CompilationCache] = None
                         ) -> Optional[Tuple[str, str]]:
-    """Re-run one persisted reproducer under all four engines and
+    """Re-run one persisted reproducer under all five engines and
     check it against its recorded expectations.  Returns ``None`` when
     everything still agrees, else ``(category, detail)``."""
     from ..bytecode.asmtext import assemble
@@ -425,6 +433,8 @@ def replay_corpus_entry(jasm_path: str,
         "legacy": run_engine_vm(make_program, "legacy", probes,
                                 cache=cache),
         "plan": run_engine_vm(make_program, "plan", probes, cache=cache),
+        "codegen": run_engine_vm(make_program, "codegen", probes,
+                                 cache=cache),
         "summaries": run_engine_vm(make_program, "plan", probes,
                                    cache=cache, escape_summaries=True),
     }

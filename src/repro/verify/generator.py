@@ -246,10 +246,10 @@ class ProgramGenerator:
                  "read_global", "if", "loop", "sync", "call",
                  "branch_escape", "branch_escape", "loop_virtual",
                  "array_mix", "sync_escape", "deopt_window",
-                 "hot_loop", "borrow_call"])
+                 "hot_loop", "borrow_call", "codegen_mix"])
             if kind in ("if", "loop", "sync", "branch_escape",
-                        "loop_virtual", "sync_escape",
-                        "deopt_window", "hot_loop") and depth >= 2:
+                        "loop_virtual", "sync_escape", "deopt_window",
+                        "hot_loop", "codegen_mix") and depth >= 2:
                 kind = "assign_int"
             if kind == "call" and not callable_helpers:
                 kind = "store_field"
@@ -423,6 +423,36 @@ class ProgramGenerator:
                     f"x{self._int(0, self.INT_LOCALS - 1)} = "
                     f"{var}.f0 + {var}.f1;"))
                 budget -= 2
+            elif kind == "codegen_mix":
+                # The codegen backend's hardest shape: a nested loop
+                # carrying a *cyclically linked* pair of virtual
+                # objects, with a magic-guarded escape (deopt site)
+                # inside the inner loop body.  The structurizer must
+                # express the multi-level control flow, and a probe
+                # call deoptimizing mid-loop forces the Deoptimizer to
+                # rematerialize the two-node cycle from generated
+                # code's frame locals.
+                t = self.fresh_name("t")
+                u = self.fresh_name("u")
+                ivar = self.fresh_name("i")
+                jvar = self.fresh_name("j")
+                outer = self._int(2, 4)
+                inner = self._int(2, 5)
+                result.append(Stmt.leaf(
+                    f"Data {t} = new Data(); Data {u} = new Data(); "
+                    f"{t}.link = {u}; {u}.link = {t}; "
+                    f"{u}.f0 = {self.int_expr(1)}; "
+                    f"for (int {ivar} = 0; {ivar} < {outer}; "
+                    f"{ivar} = {ivar} + 1) {{ "
+                    f"for (int {jvar} = 0; {jvar} < {inner}; "
+                    f"{jvar} = {jvar} + 1) {{ "
+                    f"{t}.f0 = {t}.f0 + {u}.f0 + {jvar}; "
+                    f"if ({self.magic_condition()}) "
+                    f"{{ g0 = {t}; gi = gi + {ivar}; }} }} "
+                    f"{u}.f1 = {u}.f1 ^ {ivar}; }} "
+                    f"x{self._int(0, self.INT_LOCALS - 1)} = "
+                    f"{t}.f0 + {u}.f1;"))
+                budget -= 4
             elif kind == "deopt_window":
                 # A cold branch that allocates, links and escapes: when
                 # a probe call finally takes it, the deoptimizer must

@@ -90,7 +90,7 @@ def run_vm(source, cache=None, calls=30, backend="legacy"):
 # -- sharing across VMs --------------------------------------------------------
 
 
-@pytest.mark.parametrize("backend", ["legacy", "plan"])
+@pytest.mark.parametrize("backend", ["legacy", "plan", "codegen"])
 def test_shared_cache_preserves_metrics(backend):
     cache = CompilationCache()
     _, cold_result, cold_cycles = run_vm(LOOP_SOURCE, backend=backend)
@@ -241,6 +241,94 @@ def test_corrupt_disk_entry_is_ignored(tmp_path):
     assert vm.compiler.cache_hit_count == 0
 
 
+# -- codegen payloads ----------------------------------------------------------
+
+
+def test_codegen_shares_cache_with_plan():
+    """The pipeline fingerprint excludes the execution backend: a VM on
+    the codegen backend hits entries a plan-backend VM stored, relinking
+    the generated source from the cached payload."""
+    cache = CompilationCache()
+    _, r1, __ = run_vm(LOOP_SOURCE, cache=cache, backend="codegen")
+    misses_before = cache.stats.misses
+    vm2, r2, __ = run_vm(LOOP_SOURCE, cache=cache, backend="plan")
+    assert r1 == r2
+    assert cache.stats.misses == misses_before
+    assert vm2.compiler.cache_hit_count == vm2.compiler.compile_count > 0
+
+
+def test_codegen_disk_round_trip_reexecs_source(tmp_path):
+    """Warm loads skip the emission pass: the persisted source is
+    digest-checked, re-``exec``-ed, and behaves identically."""
+    cache_dir = str(tmp_path / "cache")
+    vm_a, r1, c1 = run_vm(LOOP_SOURCE,
+                          cache=CompilationCache(cache_dir),
+                          backend="codegen")
+    digests_cold = {m.qualified_name: result.codegen.digest
+                    for m, result in vm_a.compiled.items()
+                    if result.codegen is not None}
+    assert digests_cold
+
+    cache_b = CompilationCache(cache_dir)
+    vm_b, r2, c2 = run_vm(LOOP_SOURCE, cache=cache_b, backend="codegen")
+    assert (r1, c1) == (r2, c2)
+    assert cache_b.stats.disk_hits >= 1
+    assert vm_b.compiler.cache_hit_count == vm_b.compiler.compile_count
+    digests_warm = {m.qualified_name: result.codegen.digest
+                    for m, result in vm_b.compiled.items()
+                    if result.codegen is not None}
+    assert digests_warm == digests_cold
+    assert vm_b._bound_codegen, "warm load did not re-exec the source"
+
+
+def _compiled_codegen(backend="codegen"):
+    program = compile_source(LOOP_SOURCE)
+    config = CompilerConfig.partial_escape(compile_threshold=3,
+                                           execution_backend=backend)
+    vm = VM(program, config, cache=None)
+    for _ in range(10):
+        vm.call("Main.iterate", 40)
+        program.reset_statics()
+    return program, config, vm.compiled[program.method("Main.iterate")]
+
+
+def test_codegen_payload_digest_guard():
+    """Tampered source or unresolvable node ids must raise, never
+    silently execute the wrong code."""
+    from repro.runtime.codegen import CodegenError, CodegenPlan
+    program, config, result = _compiled_codegen()
+    payload = result.codegen.payload()
+    rebuilt = CodegenPlan.from_payload(result.graph, program,
+                                       config.cost_model, payload)
+    assert rebuilt.digest == result.codegen.digest
+    assert rebuilt.source == result.codegen.source
+
+    tampered = dict(payload)
+    tampered["source"] = payload["source"] + "\n# tampered"
+    with pytest.raises(CodegenError):
+        CodegenPlan.from_payload(result.graph, program,
+                                 config.cost_model, tampered)
+
+    stale = dict(payload)
+    stale["deopt_states"] = [10 ** 9]  # node id not in the graph
+    with pytest.raises(CodegenError):
+        CodegenPlan.from_payload(result.graph, program,
+                                 config.cost_model, stale)
+
+
+def test_corrupt_codegen_payload_regenerates():
+    """The compiler treats a bad payload as a clean miss and emits
+    fresh source from the cached graph."""
+    program, config, result = _compiled_codegen()
+    tampered = dict(result.codegen.payload())
+    tampered["digest"] = "0" * 64
+    vm = VM(program, config)
+    regenerated = vm.compiler._codegen_from_payload(
+        result.graph, tampered, program.method("Main.iterate"), None)
+    assert regenerated is not None
+    assert regenerated.digest == result.codegen.digest
+
+
 # -- corpus replay under a shared cache ----------------------------------------
 
 
@@ -266,7 +354,7 @@ def quick_workload():
     return workload
 
 
-@pytest.mark.parametrize("backend", ["legacy", "plan"])
+@pytest.mark.parametrize("backend", ["legacy", "plan", "codegen"])
 def test_workload_measurement_identical_cache_on_off(backend):
     workload = quick_workload()
     config = CompilerConfig.partial_escape(execution_backend=backend)
