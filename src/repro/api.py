@@ -32,13 +32,15 @@ from typing import Any, Optional, Union
 
 from .bytecode.classfile import Program
 from .bytecode.heap import HeapStats
-from .jit import (CompilationCache, CompilationResult, CompilerConfig,
-                  EscapeAnalysisKind, VM, VMListener, default_cache_dir)
+from .jit import (CompilationCache, CompilationResult, CompileService,
+                  CompilerConfig, EscapeAnalysisKind, ServiceClient, VM,
+                  VMListener, default_cache_dir)
 from .lang import compile_source
 
-__all__ = ["CompilationCache", "CompilationResult", "CompiledProgram",
-           "CompilerConfig", "EscapeAnalysisKind", "VM", "VMListener",
-           "compile", "compile_source", "default_cache_dir", "run"]
+__all__ = ["CompilationCache", "CompilationResult", "CompileService",
+           "CompiledProgram", "CompilerConfig", "EscapeAnalysisKind",
+           "ServiceClient", "VM", "VMListener", "compile",
+           "compile_source", "default_cache_dir", "run"]
 
 
 class CompiledProgram:

@@ -85,6 +85,16 @@ class Measurement:
     #: other observability fields.
     virtualized_allocations: int = field(default=0, compare=False)
     materializations: int = field(default=0, compare=False)
+    #: Deoptimizations inside the measured window only.  ``deopts``
+    #: above is cumulative: with a compile *service*, background
+    #: tier-up legitimately shifts *warm-up* deopt timing (speculative
+    #: code installs a little later, so a doomed speculation may fire
+    #: fewer times before invalidation), while the drain barrier before
+    #: measurement makes the measured window itself deterministic.  The
+    #: fleet identity check therefore compares this field, not the
+    #: warm-up-polluted cumulative count.  compare=False keeps
+    #: Measurement equality semantics unchanged.
+    deopts_measured: int = field(default=0, compare=False)
 
     @property
     def iterations_per_minute(self) -> float:
@@ -145,47 +155,21 @@ def _vm_tick(vm: VM) -> Tuple[int, ...]:
 
 
 def _profile_snapshot(vm: VM) -> dict:
-    """The VM's profiling state, keyed by qualified method names."""
-    profile = vm.profile
-    return {
-        "invocations": {m.qualified_name: n
-                        for m, n in profile.invocations.items()},
-        "branch_taken": [[m.qualified_name, bci, n]
-                         for (m, bci), n in profile.branch_taken.items()],
-        "branch_not_taken": [
-            [m.qualified_name, bci, n]
-            for (m, bci), n in profile.branch_not_taken.items()],
-        "receiver_types": [
-            [m.qualified_name, bci, dict(classes)]
-            for (m, bci), classes in profile.receiver_types.items()],
-        "backedges": [[m.qualified_name, bci, n]
-                      for (m, bci), n in profile.backedges.items()],
-        "osr_entries": [[m.qualified_name, bci, n]
-                        for (m, bci), n in profile.osr_entries.items()],
-        "deopt_counts": {m.qualified_name: n
-                         for m, n in vm.deopt_counts.items()},
-        "deopts": vm.exec_stats.deopts,
-        "invalidations": vm.invalidations,
-    }
+    """The VM's profiling state (qualified-name keyed, see
+    :meth:`~repro.bytecode.interpreter.Profile.snapshot`) plus the
+    deopt bookkeeping the harness replays alongside it."""
+    snapshot = vm.profile.snapshot()
+    snapshot["deopt_counts"] = {m.qualified_name: n
+                                for m, n in vm.deopt_counts.items()}
+    snapshot["deopts"] = vm.exec_stats.deopts
+    snapshot["invalidations"] = vm.invalidations
+    return snapshot
 
 
 def _restore_profile(vm: VM, snapshot: dict) -> None:
     """Install a recorded profiling state into a fresh VM."""
     method = vm.program.method
-    profile = vm.profile
-    profile.invocations = {method(q): n for q, n in
-                           snapshot["invocations"].items()}
-    profile.branch_taken = {(method(q), bci): n for q, bci, n in
-                            snapshot["branch_taken"]}
-    profile.branch_not_taken = {(method(q), bci): n for q, bci, n in
-                                snapshot["branch_not_taken"]}
-    profile.receiver_types = {(method(q), bci): dict(classes)
-                              for q, bci, classes in
-                              snapshot["receiver_types"]}
-    profile.backedges = {(method(q), bci): n for q, bci, n in
-                         snapshot["backedges"]}
-    profile.osr_entries = {(method(q), bci): n for q, bci, n in
-                           snapshot["osr_entries"]}
+    vm.profile.restore(vm.program, snapshot)
     vm.deopt_counts = {method(q): n for q, n in
                        snapshot["deopt_counts"].items()}
     vm.exec_stats.deopts = snapshot["deopts"]
@@ -287,7 +271,13 @@ def run_workload(workload: Workload, config: CompilerConfig,
             if signature is not None:
                 record = {"profile": snapshot, "signature": signature}
 
+    # Background-tier-up barrier: install every in-flight compile
+    # service reply before measuring, so the measured window always
+    # runs the same (fully tiered-up) code whether compiles were
+    # synchronous or asynchronous.  No-op without a service.
+    vm.finish_pending_compiles()
     warmup_tick = _vm_tick(vm)
+    deopts_before_measure = vm.exec_stats.deopts
     # Fold pending interpreter cycles, then measure from a zeroed
     # counter: float summation from 0.0 is exact across replays, where
     # a snapshot delta would suffer accumulation-order rounding.
@@ -338,6 +328,7 @@ def run_workload(workload: Workload, config: CompilerConfig,
         virtualized_allocations=sum(r.virtualized_allocations
                                     for r in ea_results),
         materializations=sum(r.materializations for r in ea_results),
+        deopts_measured=vm.exec_stats.deopts - deopts_before_measure,
     )
 
 

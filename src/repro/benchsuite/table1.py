@@ -78,7 +78,8 @@ def generate(suites: Sequence[str], quick: bool = False,
              backend: str = "plan", json_path: Optional[str] = None,
              profile: bool = False,
              cache: Optional[CompilationCache] = None,
-             osr: bool = True) -> dict:
+             osr: bool = True,
+             fleet: Optional[dict] = None) -> dict:
     """Run the selected suites and print Table 1; returns the raw
     comparisons keyed by suite for programmatic use."""
     if profile:
@@ -141,7 +142,7 @@ def generate(suites: Sequence[str], quick: bool = False,
                                    cache=cache, osr=osr)
         codegen_ab = _codegen_ab(results, osr=osr)
         _write_json(json_path, results, wall_clock, jobs, backend, quick,
-                    cache, osr, analysis_ab, codegen_ab)
+                    cache, osr, analysis_ab, codegen_ab, fleet)
     return results
 
 
@@ -271,7 +272,8 @@ def _write_json(path: str, results: dict, wall_clock: dict, jobs: int,
                 cache: Optional[CompilationCache] = None,
                 osr: bool = True,
                 analysis_ab: Optional[dict] = None,
-                codegen_ab: Optional[dict] = None) -> None:
+                codegen_ab: Optional[dict] = None,
+                fleet: Optional[dict] = None) -> None:
     """Benchmark metrics for CI tracking (BENCH_table1.json).
 
     ``suites`` holds only deterministic, simulated metrics — identical
@@ -345,6 +347,12 @@ def _write_json(path: str, results: dict, wall_clock: dict, jobs: int,
         }
     if codegen_ab is not None:
         payload["timing"]["codegen_ab"] = codegen_ab
+    if fleet is not None:
+        # Compile-service fleet benchmark (see benchsuite.fleet):
+        # wall-clock/latency numbers are machine-dependent, but
+        # dedup_or_hit_rate, checksums_consistent and
+        # identity.all_identical are acceptance-gated invariants.
+        payload["timing"]["fleet"] = fleet
     if osr:
         # Demonstrate the tentpole's point on real wall-clock: one
         # loop-heavy workload warmed with and without OSR.
@@ -391,14 +399,28 @@ def main(argv=None):
                         default=True,
                         help="disable on-stack replacement (hot loops "
                              "wait for the invocation threshold)")
+    parser.add_argument("--fleet", action="store_true",
+                        help="also run the compile-service fleet "
+                             "benchmark and record it under "
+                             "timing.fleet in the --json payload")
+    parser.add_argument("--fleet-workers", type=int, default=16,
+                        metavar="N",
+                        help="concurrent VM client processes for "
+                             "--fleet (default 16)")
     args = parser.parse_args(argv)
     suites = list(SUITES) if args.suite == "all" else [args.suite]
     cache = None
     if args.cache or args.cache_dir:
         cache = CompilationCache(args.cache_dir)
+    fleet_payload = None
+    if args.fleet:
+        from .fleet import run_fleet
+        fleet_payload = run_fleet(workers=args.fleet_workers,
+                                  quick=args.quick)
     generate(suites, quick=args.quick, locks=args.locks, jobs=args.jobs,
              backend=args.backend, json_path=args.json,
-             profile=args.profile, cache=cache, osr=args.osr)
+             profile=args.profile, cache=cache, osr=args.osr,
+             fleet=fleet_payload)
 
 
 if __name__ == "__main__":

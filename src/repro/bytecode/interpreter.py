@@ -190,6 +190,49 @@ class Profile:
         total = taken + not_taken
         return 0.5 if total == 0 else taken / total
 
+    def snapshot(self) -> dict:
+        """A process-portable copy of the profiling state, keyed by
+        qualified method names instead of :class:`JMethod` objects.
+        Used to ship profiles to the compile service and by the
+        benchmark harness's warm-up records; restored against any
+        program with the same declarations by :meth:`restore`."""
+        return {
+            "invocations": {m.qualified_name: n
+                            for m, n in self.invocations.items()},
+            "branch_taken": [[m.qualified_name, bci, n]
+                             for (m, bci), n in
+                             self.branch_taken.items()],
+            "branch_not_taken": [[m.qualified_name, bci, n]
+                                 for (m, bci), n in
+                                 self.branch_not_taken.items()],
+            "receiver_types": [[m.qualified_name, bci, dict(classes)]
+                               for (m, bci), classes in
+                               self.receiver_types.items()],
+            "backedges": [[m.qualified_name, bci, n]
+                          for (m, bci), n in self.backedges.items()],
+            "osr_entries": [[m.qualified_name, bci, n]
+                            for (m, bci), n in self.osr_entries.items()],
+        }
+
+    def restore(self, program: Program, snapshot: dict) -> None:
+        """Install :meth:`snapshot` state, resolving method names in
+        *program*.  Raises ``KeyError`` for names it cannot resolve
+        (the snapshot belongs to a different program)."""
+        method = program.method
+        self.invocations = {method(q): n for q, n in
+                            snapshot["invocations"].items()}
+        self.branch_taken = {(method(q), bci): n for q, bci, n in
+                             snapshot["branch_taken"]}
+        self.branch_not_taken = {(method(q), bci): n for q, bci, n in
+                                 snapshot["branch_not_taken"]}
+        self.receiver_types = {(method(q), bci): dict(classes)
+                               for q, bci, classes in
+                               snapshot["receiver_types"]}
+        self.backedges = {(method(q), bci): n for q, bci, n in
+                          snapshot["backedges"]}
+        self.osr_entries = {(method(q), bci): n for q, bci, n in
+                            snapshot["osr_entries"]}
+
 
 class Interpreter:
     """Executes bytecode against a :class:`Heap`."""

@@ -1,11 +1,14 @@
 """The tiered JIT virtual machine."""
 
 from .cache import CacheStats, CompilationCache, default_cache_dir
+from .client import CompileReply, ServiceClient
 from .compiler import CompilationResult, Compiler
 from .listeners import VMListener
 from .options import CompilerConfig, EscapeAnalysisKind
+from .server import CompileService
 from .vm import VM
 
 __all__ = ["CacheStats", "CompilationCache", "CompilationResult",
-           "Compiler", "CompilerConfig", "EscapeAnalysisKind", "VM",
-           "VMListener", "default_cache_dir"]
+           "CompileReply", "CompileService", "Compiler",
+           "CompilerConfig", "EscapeAnalysisKind", "ServiceClient",
+           "VM", "VMListener", "default_cache_dir"]

@@ -48,8 +48,10 @@ from __future__ import annotations
 
 import hashlib
 import io
+import itertools
 import os
 import pickle
+import threading
 import time
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Optional, Tuple
@@ -68,7 +70,11 @@ from .options import CompilerConfig
 #: 4: payloads gained ``codegen`` — the generated-Python source (text +
 #: digest + node-id link tables) of the codegen backend, re-``exec``-ed
 #: on warm load.
-CACHE_FORMAT = 4
+#: 5: disk files echo their key and carry per-entry SHA-256 blob
+#: digests, so the sharded store can be written by many processes
+#: (compile-service fleet) and a torn, corrupted or cross-shard file is
+#: detected at read time instead of deserializing garbage.
+CACHE_FORMAT = 5
 
 
 def default_cache_dir() -> str:
@@ -120,6 +126,8 @@ def full_config_fingerprint(config: CompilerConfig) -> str:
     trigger points and simulated costs all matter."""
     description = [("pipeline", pipeline_fingerprint(config)),
                    ("execution_backend", config.execution_backend),
+                   ("compile_service", config.compile_service),
+                   ("compile_service_wait", config.compile_service_wait),
                    ("compile_threshold", config.compile_threshold),
                    ("osr", config.osr),
                    ("osr_threshold", config.osr_threshold),
@@ -383,11 +391,21 @@ class CompilationCache:
 
     Safe to share across VMs and programs: keys are content hashes,
     hits are validated against the requesting VM's live profile, and
-    every hit materializes a private graph copy."""
+    every hit materializes a private graph copy.  Also safe to share
+    across *threads* (the compile service's workers) — every mutation
+    of the in-memory level runs under one lock — and across *processes*
+    through the disk level: the on-disk store is sharded by key prefix,
+    every write is a lockfile-free atomic rename, and every read
+    re-verifies the file's key echo and per-entry blob digests, so a
+    concurrent writer can never make a reader observe a torn,
+    corrupted or cross-shard payload."""
 
     def __init__(self, cache_dir: Optional[str] = None):
         self.cache_dir = cache_dir
         self.stats = CacheStats()
+        self._lock = threading.RLock()
+        #: Distinguishes temporary files of concurrent writer threads.
+        self._tmp_counter = itertools.count()
         #: key -> list of entries (variants differ in their facts).
         self._memory: Dict[str, List[CacheEntry]] = {}
         #: Keys whose disk file has already been consulted.
@@ -417,6 +435,14 @@ class CompilationCache:
                ) -> Optional[CachedCompilation]:
         started = time.perf_counter()
         try:
+            with self._lock:
+                return self._lookup_locked(program, method, config,
+                                           profile, entry_bci)
+        finally:
+            self.stats.lookup_seconds += time.perf_counter() - started
+
+    def _lookup_locked(self, program, method, config, profile,
+                       entry_bci) -> Optional[CachedCompilation]:
             key = self.compilation_key(program, method, config,
                                        profile is not None, entry_bci)
             entries = self._entries(key)
@@ -440,8 +466,6 @@ class CompilationCache:
                 self.stats.validation_failures += 1
             self.stats.misses += 1
             return None
-        finally:
-            self.stats.lookup_seconds += time.perf_counter() - started
 
     def store(self, program: Program, method: JMethod,
               config: CompilerConfig, profile: Optional[Profile],
@@ -464,14 +488,20 @@ class CompilationCache:
             entry = CacheEntry(key, tuple(facts), blob,
                                {"method": method.qualified_name,
                                 "entry_bci": entry_bci})
-            entries = self._entries(key)
-            entries[:] = [e for e in entries if e.facts != entry.facts]
-            entries.append(entry)
-            self.stats.stores += 1
-            self._write_disk(key, entries)
+            self.adopt_entry(entry)
             return entry
         finally:
             self.stats.store_seconds += time.perf_counter() - started
+
+    def adopt_entry(self, entry: CacheEntry) -> None:
+        """Install an externally produced entry (a compile-service
+        reply) under its key, replacing any variant with equal facts."""
+        with self._lock:
+            entries = self._entries(entry.key)
+            entries[:] = [e for e in entries if e.facts != entry.facts]
+            entries.append(entry)
+            self.stats.stores += 1
+            self._write_disk(entry.key, entries)
 
     def evict(self, entry: Optional[CacheEntry]) -> None:
         """Drop one variant — used when deopt invalidation proves its
@@ -479,15 +509,31 @@ class CompilationCache:
         the entry could never validate again anyway)."""
         if entry is None:
             return
-        entries = self._memory.get(entry.key)
-        if not entries:
-            return
-        remaining = [e for e in entries if e is not entry
-                     and e.facts != entry.facts]
-        if len(remaining) != len(entries):
-            self._memory[entry.key] = remaining
+        with self._lock:
+            entries = self._memory.get(entry.key)
+            if not entries:
+                return
+            remaining = [e for e in entries if e is not entry
+                         and e.facts != entry.facts]
+            if len(remaining) != len(entries):
+                self._memory[entry.key] = remaining
+                self.stats.evictions += 1
+                self._write_disk(entry.key, remaining)
+
+    def evict_variant(self, key: str, facts: Tuple[tuple, ...]) -> bool:
+        """Drop the variant of *key* whose facts match — the
+        compile-service side of deopt invalidation, where the client
+        names the entry instead of holding it."""
+        with self._lock:
+            entries = self._entries(key)
+            facts = tuple(map(tuple, facts))
+            remaining = [e for e in entries if e.facts != facts]
+            if len(remaining) == len(entries):
+                return False
+            self._memory[key] = remaining
             self.stats.evictions += 1
-            self._write_disk(entry.key, remaining)
+            self._write_disk(key, remaining)
+            return True
 
     def _entries(self, key: str) -> List[CacheEntry]:
         entries = self._memory.get(key)
@@ -502,9 +548,21 @@ class CompilationCache:
         return entries
 
     # -- level 2 ------------------------------------------------------------
+    #
+    # The disk store is sharded by the first two hex digits of the key
+    # (256 shard directories) so a fleet of writers spreads its
+    # directory traffic, and is written lockfile-free: each write goes
+    # to a uniquely named temporary file in the same shard and is
+    # published with one atomic ``os.replace``.  Readers re-verify the
+    # file's key echo (a file moved or renamed across shards is
+    # rejected wholesale) and each entry's SHA-256 blob digest (a
+    # corrupted or torn payload is rejected per entry).
+
+    def _shard(self, key: str) -> str:
+        return key[:2]
 
     def _graph_path(self, key: str) -> str:
-        return os.path.join(self.cache_dir, "graphs", key[:2],
+        return os.path.join(self.cache_dir, "graphs", self._shard(key),
                             f"{key}.pkl")
 
     def _read_disk(self, key: str) -> List[CacheEntry]:
@@ -514,9 +572,13 @@ class CompilationCache:
                 stored = pickle.load(handle)
             if stored.get("format") != CACHE_FORMAT:
                 return []
+            if stored.get("key") != key:
+                return []  # cross-shard/renamed file: reject wholesale
             return [CacheEntry(key, tuple(map(tuple, e["facts"])),
                                e["blob"], e.get("meta", {}))
-                    for e in stored["entries"]]
+                    for e in stored["entries"]
+                    if hashlib.sha256(e["blob"]).hexdigest()
+                    == e.get("digest")]
         except Exception:
             return []
 
@@ -526,10 +588,15 @@ class CompilationCache:
         path = self._graph_path(key)
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
-            stored = {"format": CACHE_FORMAT,
+            stored = {"format": CACHE_FORMAT, "key": key,
                       "entries": [{"facts": e.facts, "blob": e.blob,
-                                   "meta": e.meta} for e in entries]}
-            tmp = f"{path}.tmp.{os.getpid()}"
+                                   "meta": e.meta,
+                                   "digest": hashlib.sha256(
+                                       e.blob).hexdigest()}
+                                  for e in entries]}
+            tmp = (f"{path}.tmp.{os.getpid()}"
+                   f".{threading.get_ident()}"
+                   f".{next(self._tmp_counter)}")
             with open(tmp, "wb") as handle:
                 pickle.dump(stored, handle,
                             protocol=pickle.HIGHEST_PROTOCOL)

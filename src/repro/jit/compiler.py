@@ -32,7 +32,8 @@ from ..pea.equi_escape import EquiEscapePhase
 from ..pea.partial_escape import PartialEscapePhase, PEAResult
 from ..runtime.codegen import CodegenError, CodegenPlan
 from ..runtime.plan import ExecutionPlan, PlanError
-from .cache import CacheEntry, CompilationCache, RecordingProfile
+from .cache import (CacheEntry, CompilationCache, RecordingProfile,
+                    load_graph_payload)
 from .options import CompilerConfig, EscapeAnalysisKind
 
 
@@ -227,6 +228,33 @@ class Compiler:
         return CompilationResult(graph, ea_result, graph.node_count(),
                                  execution_plan, cache_entry=entry,
                                  codegen=codegen_plan)
+
+    def result_from_service(self, method: JMethod, blob: bytes,
+                            facts, key: str, meta: Optional[dict],
+                            osr_bci: Optional[int] = None
+                            ) -> CompilationResult:
+        """Materialize a compile-service reply exactly like a cache
+        hit: attach the detached payload to *this* program, re-link the
+        backend lowering, and adopt the entry into the local cache so
+        deopt invalidation can evict it (and later lookups hit without
+        a round trip).  The caller has already validated *facts*
+        against its live profile."""
+        payload = load_graph_payload(blob, self.program)
+        entry = CacheEntry(key, tuple(map(tuple, facts)), blob,
+                           dict(meta or {}))
+        codegen_plan = self._codegen_from_payload(
+            payload["graph"], payload.get("codegen"), method, osr_bci)
+        plan = None if codegen_plan is not None else \
+            self._plan_from_order(payload["graph"],
+                                  payload["plan_order"])
+        if self.cache is not None:
+            self.cache.adopt_entry(entry)
+        self.compile_count += 1
+        self.cache_hit_count += 1
+        return CompilationResult(
+            payload["graph"], payload["ea_result"],
+            payload["node_count"], plan, cache_entry=entry,
+            cache_hit=True, codegen=codegen_plan)
 
     @staticmethod
     def _codegen_label(method: JMethod,

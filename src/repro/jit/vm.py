@@ -17,7 +17,9 @@ allocation/monitor statistics of Table 1 are configuration-comparable.
 
 from __future__ import annotations
 
+import logging
 import sys
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..bytecode.classfile import JMethod, Program
@@ -36,12 +38,19 @@ from .options import CompilerConfig
 
 _MIN_RECURSION_LIMIT = 40_000
 
+_log = logging.getLogger("repro.jit.service")
+
+#: Ceiling on one blocking wait for a compile-service reply; past it
+#: the service is declared lost and the VM compiles in-process.
+_SERVICE_WAIT_TIMEOUT = 120.0
+
 
 class VM:
     """One program + one configuration, ready to run."""
 
     def __init__(self, program: Program, config: CompilerConfig,
-                 cache: Optional[CompilationCache] = None):
+                 cache: Optional[CompilationCache] = None,
+                 service=None):
         if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
             sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
         self.program = program
@@ -85,6 +94,32 @@ class VM:
         self._listeners: List[VMListener] = []
         if config.osr:
             self.interpreter.osr_handler = self._handle_osr
+        #: Compile-service client (background tier-up).  Either injected
+        #: (tests, the fleet benchmark) or constructed from
+        #: ``config.compile_service``; ``None`` means in-process
+        #: compilation — including after a service failure, which is
+        #: logged once and demotes the VM to in-process mode for good.
+        self._service = service
+        #: Methods with a compile request in flight (value: request id).
+        self._service_pending: Dict[JMethod, int] = {}
+        self._service_pending_osr: Dict[Tuple[JMethod, int], int] = {}
+        #: Fact-validation retries per target (one resubmission with a
+        #: fresh profile snapshot, then in-process fallback).
+        self._service_retries: Dict[Any, int] = {}
+        #: Replies installed / in-process fallbacks (observability).
+        self.service_installs = 0
+        self.service_fallbacks = 0
+        if self._service is None and config.compile_service:
+            from .client import ServiceClient
+            try:
+                self._service = ServiceClient(config.compile_service)
+            except Exception as exc:  # noqa: BLE001 - connect refused
+                self._service_lost(exc)
+        if self._service is not None:
+            try:
+                self._service.register(program)
+            except Exception as exc:  # noqa: BLE001
+                self._service_lost(exc)
 
     # -- listeners --------------------------------------------------------
 
@@ -124,7 +159,10 @@ class VM:
             return method.native_impl(self.interpreter, args)
         compiled = self.compiled.get(method)
         if compiled is None and self._should_compile(method):
-            compiled = self._compile(method)
+            if self._service is not None:
+                compiled = self._service_compile(method)
+            else:
+                compiled = self._compile(method)
         self.profile.record_invocation(method)
         if compiled is not None:
             return self._execute_compiled(method, compiled, args)
@@ -170,6 +208,14 @@ class VM:
             if self.config.compile_bailout:
                 return None  # stay interpreted, like a production VM
             raise
+        self._install_compiled(method, result)
+        return result
+
+    def _install_compiled(self, method: JMethod,
+                          result: CompilationResult) -> None:
+        """Atomically adopt a method-entry compilation (from the local
+        compiler or a compile-service reply): the result and its bound
+        lowering are published together, so the next call runs it."""
         self.compiled[method] = result
         if result.codegen is not None:
             try:
@@ -190,7 +236,6 @@ class VM:
         if result.cache_hit:
             self._emit("on_cache_hit", method, result.cache_entry)
         self._emit("on_compile", method, result)
-        return result
 
     # -- on-stack replacement ---------------------------------------------
 
@@ -203,12 +248,20 @@ class VM:
         count = self.profile.record_backedge(method, bci)
         key = (method, bci)
         compiled = self.osr_compiled.get(key)
+        if compiled is None and self._service is not None and \
+                key in self._service_pending_osr:
+            # A reply may have arrived since the last backedge.
+            self._service_drain()
+            compiled = self.osr_compiled.get(key)
         if compiled is None:
             if count < self.config.osr_threshold or \
                     key in self._osr_uncompilable or \
                     method.is_synchronized:
                 return NO_OSR
-            compiled = self._compile_osr(method, bci)
+            if self._service is not None:
+                compiled = self._service_compile_osr(method, bci)
+            else:
+                compiled = self._compile_osr(method, bci)
             if compiled is None:
                 return NO_OSR
         self.osr_entries += 1
@@ -240,6 +293,12 @@ class VM:
             if self.config.compile_bailout:
                 return None
             raise
+        self._install_osr(key, result)
+        return result
+
+    def _install_osr(self, key: Tuple[JMethod, int],
+                     result: CompilationResult) -> None:
+        method, bci = key
         self.osr_compiled[key] = result
         if result.codegen is not None:
             try:
@@ -260,7 +319,258 @@ class VM:
         if result.cache_hit:
             self._emit("on_cache_hit", method, result.cache_entry)
         self._emit("on_osr_compile", method, bci, result)
-        return result
+
+    # -- compile service (background tier-up) ------------------------------
+
+    def _service_compile(self, method: JMethod
+                         ) -> Optional[CompilationResult]:
+        """Tier up through the compile service: install any replies
+        that already arrived, and if *method* is still interpreted,
+        make sure a request is in flight — then keep interpreting (or
+        block for the reply under ``compile_service_wait``)."""
+        self._service_drain()
+        if self._service is None:  # lost during drain
+            return self._compile(method) \
+                if self._should_compile(method) else None
+        compiled = self.compiled.get(method)
+        if compiled is not None:
+            return compiled
+        if method in self._uncompilable:
+            return None
+        if method not in self._service_pending:
+            rid = self._service_submit(method, None)
+            if rid is None:  # lost at submit
+                return self._compile(method)
+            self._service_pending[method] = rid
+        if self.config.compile_service_wait:
+            self._service_wait_for(method=method)
+            return self.compiled.get(method)
+        return None
+
+    def _service_compile_osr(self, method: JMethod, bci: int
+                             ) -> Optional[CompilationResult]:
+        self._service_drain()
+        if self._service is None:
+            return self._compile_osr(method, bci)
+        key = (method, bci)
+        compiled = self.osr_compiled.get(key)
+        if compiled is not None:
+            return compiled
+        if key in self._osr_uncompilable:
+            return None
+        if key not in self._service_pending_osr:
+            rid = self._service_submit(method, bci)
+            if rid is None:
+                return self._compile_osr(method, bci)
+            self._service_pending_osr[key] = rid
+        if self.config.compile_service_wait:
+            self._service_wait_for(osr_key=key)
+            return self.osr_compiled.get(key)
+        return None
+
+    def _service_submit(self, method: JMethod,
+                        entry_bci: Optional[int]) -> Optional[int]:
+        try:
+            return self._service.submit(
+                self.program, method.qualified_name, self.config,
+                self.profile.snapshot(), entry_bci)
+        except Exception as exc:  # noqa: BLE001 - connection failure
+            self._service_lost(exc)
+            return None
+
+    def _service_drain(self) -> None:
+        """Install every service reply that has already arrived."""
+        if self._service is None:
+            return
+        try:
+            replies = self._service.poll()
+        except Exception as exc:  # noqa: BLE001
+            self._service_lost(exc)
+            return
+        for reply in replies:
+            self._service_install(reply)
+
+    def _service_wait_for(self, method: Optional[JMethod] = None,
+                          osr_key: Optional[Tuple[JMethod, int]] = None,
+                          timeout: float = _SERVICE_WAIT_TIMEOUT
+                          ) -> None:
+        """Block until the request for one target resolves (installed,
+        marked uncompilable, or the service is lost — in which case the
+        target is compiled in-process so the caller always makes
+        progress)."""
+        def pending() -> bool:
+            if method is not None:
+                return method in self._service_pending
+            return osr_key in self._service_pending_osr
+        deadline = time.monotonic() + timeout
+        while self._service is not None and pending():
+            try:
+                replies = self._service.wait_any(
+                    timeout=max(0.05, deadline - time.monotonic()))
+            except Exception as exc:  # noqa: BLE001
+                self._service_lost(exc)
+                break
+            if not replies and time.monotonic() >= deadline:
+                self._service_lost(TimeoutError(
+                    "compile service reply timed out"))
+                break
+            for reply in replies:
+                self._service_install(reply)
+        if method is not None:
+            if method not in self.compiled and \
+                    method not in self._uncompilable:
+                self.service_fallbacks += 1
+                self._compile(method)
+        elif osr_key is not None:
+            if osr_key not in self.osr_compiled and \
+                    osr_key not in self._osr_uncompilable:
+                self.service_fallbacks += 1
+                self._compile_osr(*osr_key)
+
+    def finish_pending_compiles(
+            self, timeout: float = _SERVICE_WAIT_TIMEOUT) -> None:
+        """Drain every in-flight compile request and install the
+        replies — the deterministic barrier the benchmark harness puts
+        between warm-up and the measured window, so background tier-up
+        cannot move compile points into (or out of) the measurement.
+        Targets still unresolved after a service loss are compiled
+        in-process.  No-op without a service."""
+        targets = list(self._service_pending)
+        osr_targets = list(self._service_pending_osr)
+        deadline = time.monotonic() + timeout
+        while self._service is not None and \
+                (self._service_pending or self._service_pending_osr):
+            try:
+                replies = self._service.wait_any(
+                    timeout=max(0.05, deadline - time.monotonic()))
+            except Exception as exc:  # noqa: BLE001
+                self._service_lost(exc)
+                break
+            if not replies and time.monotonic() >= deadline:
+                self._service_lost(TimeoutError(
+                    "compile service reply timed out"))
+                break
+            for reply in replies:
+                self._service_install(reply)
+        for method in targets:
+            if method not in self.compiled and \
+                    method not in self._uncompilable and \
+                    self._should_compile(method):
+                self.service_fallbacks += 1
+                self._compile(method)
+        for key in osr_targets:
+            if key not in self.osr_compiled and \
+                    key not in self._osr_uncompilable:
+                self.service_fallbacks += 1
+                self._compile_osr(*key)
+
+    def _service_install(self, reply) -> None:
+        """Atomically install one compile-service reply.
+
+        The reply's speculation facts are re-validated against the
+        *live* profile first: an invalidation that raced the
+        compilation (the deopt changed a branch decision after the
+        snapshot was taken) fails validation here, the stale payload is
+        discarded, and the request is resubmitted once with a fresh
+        snapshot — after which the VM compiles in-process, so progress
+        is guaranteed."""
+        from ..jit.cache import validate_facts
+        try:
+            method = self.program.method(reply.qualified)
+        except Exception:  # noqa: BLE001 - unknown method in reply
+            return
+        osr = reply.entry_bci is not None
+        key = (method, reply.entry_bci) if osr else method
+        if osr:
+            self._service_pending_osr.pop(key, None)
+        else:
+            self._service_pending.pop(method, None)
+        if reply.error is not None:
+            self._service_retries.pop(key, None)
+            if reply.error == "compilation not cacheable":
+                # The method compiled fine but its graph is not
+                # transportable (unpicklable payload).  Compile it
+                # locally — same policy as a cache that declines to
+                # store.
+                self.service_fallbacks += 1
+                if osr:
+                    self._compile_osr(method, reply.entry_bci)
+                else:
+                    self._compile(method)
+                return
+            detail = f"service: {reply.error}"
+            if osr:
+                # GraphBuildError on an un-OSR-able loop shape is
+                # normal (mirrors _compile_osr); anything else honors
+                # compile_bailout.
+                self._osr_uncompilable[key] = detail
+                if not reply.error.startswith("GraphBuildError") and \
+                        not self.config.compile_bailout:
+                    raise RuntimeError(
+                        f"{method.qualified_name} failed to compile "
+                        f"via service: {reply.error}")
+            else:
+                self._uncompilable[method] = detail
+                if not self.config.compile_bailout:
+                    raise RuntimeError(
+                        f"{method.qualified_name} failed to compile "
+                        f"via service: {reply.error}")
+            return
+        facts = tuple(map(tuple, reply.facts))
+        if not validate_facts(facts, self.program, self.profile):
+            retries = self._service_retries.get(key, 0)
+            if retries < 1 and self._service is not None:
+                self._service_retries[key] = retries + 1
+                rid = self._service_submit(method, reply.entry_bci)
+                if rid is not None:
+                    if osr:
+                        self._service_pending_osr[key] = rid
+                    else:
+                        self._service_pending[method] = rid
+                    return
+            # Second stale reply (or no service): the profile is
+            # moving faster than the round trip; compile locally.
+            self._service_retries.pop(key, None)
+            self.service_fallbacks += 1
+            if osr:
+                self._compile_osr(method, reply.entry_bci)
+            else:
+                self._compile(method)
+            return
+        self._service_retries.pop(key, None)
+        try:
+            result = self.compiler.result_from_service(
+                method, reply.blob, facts, reply.key, reply.meta,
+                osr_bci=reply.entry_bci)
+        except Exception:  # noqa: BLE001 - undecodable payload
+            self.service_fallbacks += 1
+            if osr:
+                self._compile_osr(method, reply.entry_bci)
+            else:
+                self._compile(method)
+            return
+        self.service_installs += 1
+        if osr:
+            self._install_osr(key, result)
+        else:
+            self._install_compiled(method, result)
+
+    def _service_lost(self, exc: BaseException) -> None:
+        """Demote to in-process compilation, once, with one log line —
+        the service is an accelerator, never a correctness
+        dependency."""
+        service, self._service = self._service, None
+        if service is not None:
+            try:
+                service.close()
+            except Exception:  # noqa: BLE001
+                pass
+        self._service_pending.clear()
+        self._service_pending_osr.clear()
+        self._service_retries.clear()
+        _log.warning(
+            "compile service unavailable (%s: %s); falling back to "
+            "in-process compilation", type(exc).__name__, exc)
 
     def _execute_compiled(self, method: JMethod,
                           compiled: CompilationResult,
@@ -326,6 +636,16 @@ class VM:
             # the failed speculation.  Evict them.
             for result in invalidated:
                 self.cache.evict(result.cache_entry)
+        if self._service is not None:
+            # Broadcast the same evictions to the shared service cache,
+            # so the fleet cannot be re-served the failed speculation.
+            try:
+                for result in invalidated:
+                    if result.cache_entry is not None:
+                        self._service.evict(result.cache_entry.key,
+                                            result.cache_entry.facts)
+            except Exception as exc:  # noqa: BLE001
+                self._service_lost(exc)
         self._emit("on_invalidate", method, reason)
 
     def _invoke_callback(self, kind: str, ref: MethodRef,

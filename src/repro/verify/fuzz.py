@@ -196,15 +196,22 @@ def run_engine_interpreter(make_program: Callable[[], object],
 def run_engine_vm(make_program: Callable[[], object], backend: str,
                   probes=PROBE_CALLS,
                   cache: Optional[CompilationCache] = None,
-                  escape_summaries: bool = False) -> EngineOutcome:
+                  escape_summaries: bool = False,
+                  service_address: Optional[str] = None
+                  ) -> EngineOutcome:
     program = make_program()
     # osr_threshold sits below the hot-loop generator shape's trip
     # count so "hot loop in a cold method" programs tier up at the
-    # backedge during the very first call.
+    # backedge during the very first call.  With a compile service the
+    # engines block on every reply (compile_service_wait): compile
+    # points then line up call-for-call with in-process compilation,
+    # so the differential oracle stays deterministic.
     config = CompilerConfig.partial_escape(
         compile_threshold=3, osr_threshold=25,
         execution_backend=backend,
-        escape_summaries=escape_summaries)
+        escape_summaries=escape_summaries,
+        compile_service=service_address,
+        compile_service_wait=service_address is not None)
     vm = VM(program, config, cache=cache)
     for _ in range(WARM_CALLS):
         vm.call(ENTRY, *WARM_ARGS)
@@ -299,7 +306,8 @@ class CheckResult:
 
 
 def check_source(source: str,
-                 cache: Optional[CompilationCache] = None) -> CheckResult:
+                 cache: Optional[CompilationCache] = None,
+                 service_address: Optional[str] = None) -> CheckResult:
     """Compile (with the verifier always on) and differentially execute
     one program; returns the failure (if any) and its coverage keys.
 
@@ -307,7 +315,12 @@ def check_source(source: str,
     compilations: both warm up identically, so their profiles agree at
     every compile point and the recorded speculation facts validate.
     Each engine still builds its own Program — cached graphs rebind to
-    the requesting program's methods at load."""
+    the requesting program's methods at load.
+
+    With *service_address*, every VM engine routes its compilations
+    through that shared compile service (blocking per compile), so one
+    fuzz run differentially exercises the full service path: program
+    transport, service-side compilation, fact validation at install."""
     from ..jit import Compiler
     from .verifier import GraphVerificationError
 
@@ -342,13 +355,18 @@ def check_source(source: str,
     outcomes: Dict[str, EngineOutcome] = {}
     for name, runner in (
             ("interp", run_engine_interpreter),
-            ("legacy", lambda p: run_engine_vm(p, "legacy",
-                                               cache=cache)),
-            ("plan", lambda p: run_engine_vm(p, "plan", cache=cache)),
-            ("codegen", lambda p: run_engine_vm(p, "codegen",
-                                                cache=cache)),
+            ("legacy", lambda p: run_engine_vm(
+                p, "legacy", cache=cache,
+                service_address=service_address)),
+            ("plan", lambda p: run_engine_vm(
+                p, "plan", cache=cache,
+                service_address=service_address)),
+            ("codegen", lambda p: run_engine_vm(
+                p, "codegen", cache=cache,
+                service_address=service_address)),
             ("summaries", lambda p: run_engine_vm(
-                p, "plan", cache=cache, escape_summaries=True))):
+                p, "plan", cache=cache, escape_summaries=True,
+                service_address=service_address))):
         try:
             outcomes[name] = runner(make_program)
         except GraphVerificationError as error:
@@ -367,9 +385,11 @@ def check_source(source: str,
 
 
 def check_program(program: GeneratedProgram,
-                  cache: Optional[CompilationCache] = None
+                  cache: Optional[CompilationCache] = None,
+                  service_address: Optional[str] = None
                   ) -> CheckResult:
-    return check_source(program.source(), cache=cache)
+    return check_source(program.source(), cache=cache,
+                        service_address=service_address)
 
 
 # -- corpus ---------------------------------------------------------------------
@@ -477,15 +497,18 @@ class Fuzzer:
                  check: Optional[Callable[[GeneratedProgram],
                                           CheckResult]] = None,
                  log: Callable[[str], None] = lambda message: None,
-                 cache: Optional[CompilationCache] = None):
+                 cache: Optional[CompilationCache] = None,
+                 service_address: Optional[str] = None):
         self.rng = random.Random(seed)
         self.seed = seed
         self.corpus_dir = corpus_dir
         self.shrink = shrink
         self.cache = cache
+        self.service_address = service_address
         if check is None:
             check = lambda program: check_program(  # noqa: E731
-                program, cache=self.cache)
+                program, cache=self.cache,
+                service_address=self.service_address)
         self.check = check
         self.log = log
         #: Choice sequences that exercised new coverage.
@@ -552,7 +575,9 @@ class Fuzzer:
 def fuzz(programs: int, seed: int, corpus_dir: Optional[str] = None,
          shrink: bool = True,
          log: Callable[[str], None] = lambda message: None,
-         cache: Optional[CompilationCache] = None) -> FuzzReport:
+         cache: Optional[CompilationCache] = None,
+         service_address: Optional[str] = None) -> FuzzReport:
     """Run the coverage-guided differential fuzz loop."""
     return Fuzzer(seed, corpus_dir=corpus_dir, shrink=shrink,
-                  log=log, cache=cache).run(programs)
+                  log=log, cache=cache,
+                  service_address=service_address).run(programs)
