@@ -33,6 +33,7 @@ further amortizations, neither of which can change a reported metric:
 from __future__ import annotations
 
 import hashlib
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -95,12 +96,29 @@ class Measurement:
     #: warm-up-polluted cumulative count.  compare=False keeps
     #: Measurement equality semantics unchanged.
     deopts_measured: int = field(default=0, compare=False)
+    #: Tail latency over the measured window: per-iteration simulated
+    #: cycles at the 95th/99th percentile (nearest-rank).  The mean
+    #: (``cycles_per_iteration``) hides the deopt latency cliff — one
+    #: interpreted bridge among fast iterations barely moves it but
+    #: owns the tail — so phase-shifting workloads gate on these.
+    #: Excluded from equality like the other observability fields.
+    latency_p95_cycles: float = field(default=0.0, compare=False)
+    latency_p99_cycles: float = field(default=0.0, compare=False)
 
     @property
     def iterations_per_minute(self) -> float:
         if self.cycles_per_iteration <= 0:
             return float("inf")
         return SIMULATED_CYCLES_PER_MINUTE / self.cycles_per_iteration
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]); 0.0 for no samples."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[max(0, min(len(ordered), rank) - 1)]
 
 
 def _harness_key(workload: Workload, program, config: CompilerConfig
@@ -145,6 +163,17 @@ def _vm_signature(vm: VM, checksum: int) -> Optional[list]:
             sorted([m.qualified_name, bci]
                    for m, bci in vm._osr_uncompilable),
             vm.exec_stats.deopts, vm.invalidations, checksum]
+
+
+def _progress_cycles(vm: VM) -> float:
+    """What :meth:`VM.cycles_snapshot` would return, computed
+    *read-only*: per-iteration latency sampling must not force
+    interpreter-cycle syncs mid-window, because splitting the float
+    accumulation into differently-ordered additions can move the last
+    bit of ``cycles_per_iteration`` — which is byte-diffed in CI."""
+    pending = vm.interpreter.stats.steps - vm._interpreter_steps_counted
+    return vm.exec_stats.cycles + \
+        pending * vm.config.cost_model.interpreter_step
 
 
 def _vm_tick(vm: VM) -> Tuple[int, ...]:
@@ -284,9 +313,14 @@ def run_workload(workload: Workload, config: CompilerConfig,
     vm.cycles_snapshot()
     vm.exec_stats.cycles = 0.0
     heap_before = vm.heap_snapshot()
+    latencies = []
+    cycles_before = _progress_cycles(vm)
     for _ in range(workload.measure_iterations):
         checksum = vm.call(workload.entry, workload.iteration_size)
         program.reset_statics()
+        cycles_now = _progress_cycles(vm)
+        latencies.append(cycles_now - cycles_before)
+        cycles_before = cycles_now
     heap_delta = vm.heap_snapshot().delta(heap_before)
     cycles = vm.cycles_snapshot()
 
@@ -329,6 +363,8 @@ def run_workload(workload: Workload, config: CompilerConfig,
                                     for r in ea_results),
         materializations=sum(r.materializations for r in ea_results),
         deopts_measured=vm.exec_stats.deopts - deopts_before_measure,
+        latency_p95_cycles=percentile(latencies, 95.0),
+        latency_p99_cycles=percentile(latencies, 99.0),
     )
 
 

@@ -229,6 +229,67 @@ def _codegen_ab(results: dict, osr: bool) -> dict:
     }
 
 
+def _latency_histogram(samples) -> dict:
+    """Power-of-two bucketed latency histogram (bucket upper bound ->
+    count), compact enough for the JSON payload while still showing the
+    bimodal fast/cliff shape."""
+    buckets: dict = {}
+    for sample in samples:
+        bound = 1 << max(1, int(sample)).bit_length()
+        buckets[bound] = buckets.get(bound, 0) + 1
+    return {str(bound): count for bound, count in sorted(buckets.items())}
+
+
+def _deoptless_ab() -> dict:
+    """Phase-shift tail-latency A/B: drive each phase-shifting workload
+    through its flip with deoptless off and on (see
+    :mod:`.workloads.phaseshift`) and record post-flip p50/p95/p99
+    simulated-cycle latency, the latency histogram, and interpreter
+    steps spent bridging deopts after the flip.  Checksums must be
+    identical — deoptless only changes *where* the post-deopt half of a
+    call executes, never what it computes.  Everything here is
+    simulated and deterministic; it lives under ``timing`` because tail
+    latency is a performance claim, not a Table 1 metric."""
+    from ..jit import VM
+    from ..lang import compile_source as compile_mj
+    from .harness import percentile
+    from .workloads.phaseshift import AB_DRIVERS
+    section = {}
+    for name, (source, driver) in sorted(AB_DRIVERS.items()):
+        sides = {}
+        for enabled in (False, True):
+            program = compile_mj(source)
+            config = CompilerConfig.partial_escape(deoptless=enabled)
+            vm = VM(program, config)
+            outcome = driver(vm, program)
+            latencies = outcome["post_flip_latencies"]
+            side = {
+                "checksum": outcome["checksum"],
+                "post_flip_p50_cycles": percentile(latencies, 50.0),
+                "post_flip_p95_cycles": percentile(latencies, 95.0),
+                "post_flip_p99_cycles": percentile(latencies, 99.0),
+                "interpreter_steps_after_flip":
+                    outcome["interpreter_steps_after_flip"],
+                "latency_histogram": _latency_histogram(latencies),
+            }
+            if enabled:
+                side.update(vm.deoptless.snapshot())
+            sides[enabled] = side
+        off, on = sides[False], sides[True]
+        section[name] = {
+            "off": off,
+            "on": on,
+            "checksum_identical": off["checksum"] == on["checksum"],
+            "p99_speedup": round(
+                off["post_flip_p99_cycles"]
+                / max(on["post_flip_p99_cycles"], 1e-9), 3),
+            "fewer_interpreter_steps_after_flip":
+                on["interpreter_steps_after_flip"]
+                < off["interpreter_steps_after_flip"],
+        }
+    return section
+
+
 def _osr_warmup_ab(workload_name: str = "h2") -> dict:
     """Time one loop-heavy workload's full (uncached) run with and
     without on-stack replacement.  The simulated metrics are identical —
@@ -313,6 +374,14 @@ def _write_json(path: str, results: dict, wall_clock: dict, jobs: int,
                     "compiled_nodes_pea": c.with_pea.compiled_nodes,
                     "deopts_no_ea": c.without.deopts,
                     "deopts_pea": c.with_pea.deopts,
+                    "latency_p95_cycles_no_ea":
+                        c.without.latency_p95_cycles,
+                    "latency_p95_cycles_pea":
+                        c.with_pea.latency_p95_cycles,
+                    "latency_p99_cycles_no_ea":
+                        c.without.latency_p99_cycles,
+                    "latency_p99_cycles_pea":
+                        c.with_pea.latency_p99_cycles,
                 } for c in comparisons
             },
         }
@@ -357,6 +426,9 @@ def _write_json(path: str, results: dict, wall_clock: dict, jobs: int,
         # Demonstrate the tentpole's point on real wall-clock: one
         # loop-heavy workload warmed with and without OSR.
         payload["timing"]["osr_warmup_ab"] = _osr_warmup_ab()
+    # Deoptless phase-shift A/B: post-flip tail latency and interpreter
+    # bridging, deoptless off vs on (simulated, deterministic).
+    payload["timing"]["deoptless_ab"] = _deoptless_ab()
     if cache is not None:
         stats = cache.stats.snapshot()
         payload["timing"]["cache"] = {

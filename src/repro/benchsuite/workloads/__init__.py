@@ -11,6 +11,7 @@ import copy
 from .base import PaperRow, Workload, apply_ballast
 from .dacapo import DACAPO as _DACAPO_RAW
 from .dacapo import DACAPO_SHOWN as _DACAPO_SHOWN_RAW
+from .phaseshift import PHASESHIFT
 from .scaladacapo import SCALADACAPO as _SCALADACAPO_RAW
 from .specjbb import SPECJBB_ALL as _SPECJBB_RAW
 from .tuning import TUNING
@@ -32,12 +33,13 @@ SPECJBB = SPECJBB_ALL[0]
 DACAPO_SHOWN = [w for w in DACAPO
                 if w.name in {raw.name for raw in _DACAPO_SHOWN_RAW}]
 
-ALL_WORKLOADS = DACAPO + SCALADACAPO + SPECJBB_ALL
+ALL_WORKLOADS = DACAPO + SCALADACAPO + SPECJBB_ALL + PHASESHIFT
 
 SUITES = {
     "dacapo": DACAPO,
     "scaladacapo": SCALADACAPO,
     "specjbb": SPECJBB_ALL,
+    "phaseshift": PHASESHIFT,
 }
 
 
@@ -49,5 +51,5 @@ def by_name(name: str) -> Workload:
 
 
 __all__ = ["PaperRow", "Workload", "DACAPO", "DACAPO_SHOWN",
-           "SCALADACAPO", "SPECJBB", "SPECJBB_ALL", "ALL_WORKLOADS",
-           "SUITES", "by_name"]
+           "PHASESHIFT", "SCALADACAPO", "SPECJBB", "SPECJBB_ALL",
+           "ALL_WORKLOADS", "SUITES", "by_name"]

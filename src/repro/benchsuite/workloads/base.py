@@ -136,7 +136,8 @@ class Workload:
     natives: Dict[str, Callable] = field(default_factory=dict)
 
     def __post_init__(self):
-        if self.suite not in ("dacapo", "scaladacapo", "specjbb"):
+        if self.suite not in ("dacapo", "scaladacapo", "specjbb",
+                              "phaseshift"):
             raise ValueError(f"unknown suite {self.suite}")
 
 

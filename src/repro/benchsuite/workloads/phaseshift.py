@@ -1,0 +1,224 @@
+"""Phase-shifting workloads: the deopt latency cliff, on purpose.
+
+Every Table 1 analog settles into one steady state; these workloads do
+the opposite — their runtime behavior *changes phase* mid-run, so
+speculative code trained on the first phase is falsified by the second.
+They exist to measure the transition window (the "deopt latency
+cliff"): without deoptless each falsified speculation pays a full
+interpreted bridge before re-tiering; with ``config.deoptless`` the
+deopt dispatches into a continuation specialized for the newly observed
+state and stays at compiled speed (see :mod:`repro.jit.deoptless`).
+
+Two family members, one per dispatch-context kind:
+
+- ``phaseshift-branch``: a phase flag selects a branch direction ahead
+  of a heavy loop; the flip falsifies a branch speculation.
+- ``phaseshift-mega``: a receiver rotates through three classes ahead
+  of a heavy loop; the rotation falsifies a type speculation
+  (megamorphic-receiver pattern).
+
+Both ``Work.step`` bodies are padded past
+``InliningPolicy.max_callee_size`` so they compile standalone — the
+phase check must be the *callee's* entry so its deopt site sits before
+the loop (a deopt inside the loop would need a mid-loop continuation
+entry, which the graph builder declines; see docs/internals.md §15).
+
+Used two ways:
+
+- as ordinary registry workloads (suite ``"phaseshift"``): the phase
+  flips *inside* one iteration, so the profile sees both phases, no
+  speculation forms, and the harness metrics are deterministic and
+  config-identical like every other workload's;
+- through the :func:`drive_branch` / :func:`drive_mega` drivers
+  (``timing.deoptless_ab`` in the table1 JSON): the phase flips *across
+  calls*, speculation trains on phase one and is falsified at the flip,
+  and the driver records per-call simulated-cycle latencies and
+  post-flip interpreter steps — the numbers the deoptless A/B gates on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .base import Workload
+
+def _straightline_mix(rounds: int) -> str:
+    """Unrolled data-dependent arithmetic on ``acc``.
+
+    Deliberately *straight-line*: a deopt bridged by the interpreter
+    must grind through every one of these bytecodes at interpreter
+    cost, and — unlike a loop body — no backedge ever fires, so OSR
+    cannot rescue the bridge mid-method.  This is precisely the code
+    shape where the deopt latency cliff survives OSR and only a
+    deoptless continuation keeps it at compiled speed.  Distinct
+    constants per round keep GVN from collapsing the mix."""
+    lines = []
+    for k in range(rounds):
+        lines.append(f"        acc = (acc * {31 + 2 * k} + "
+                     f"(acc >> {3 + k % 5})) & 1048575;")
+        lines.append(f"        acc = (acc ^ {(k * 40503 + 17) % 65536})"
+                     f" + ((acc >> 1) & 4095);")
+    return "\n".join(lines)
+
+
+#: Heavy body shared by both ``Work.step`` methods: a big unrolled
+#: straight-line mix (the OSR-proof part, see :func:`_straightline_mix`)
+#: followed by a short loop.  Far past the inliner's
+#: ``max_callee_size``, so ``step`` always compiles standalone and its
+#: phase check is a method-entry deopt site.
+_HEAVY_BODY = _straightline_mix(24) + """
+        for (int i = 0; i < n; i = i + 1) {
+            acc = (acc * 31 + i) & 1048575;
+            acc = (acc ^ (i << 1)) + ((acc >> 2) & 2047);
+        }
+        return acc;
+"""
+
+BRANCH_SOURCE = """
+class Work {
+    static int step(int phase, int n) {
+        int acc = 0;
+        if (phase == 1) { acc = 7; } else { acc = 3; }
+""" + _HEAVY_BODY + """
+    }
+}
+class Bench {
+    static int iterate(int size) {
+        int check = 0;
+        for (int i = 0; i < size; i = i + 1) {
+            int phase = 0;
+            if (i * 4 >= size * 3) { phase = 1; }
+            check = (check + Work.step(phase, 40)) & 16777215;
+        }
+        return check;
+    }
+}
+"""
+
+MEGA_SOURCE = """
+class Shape {
+    int weight() { return 1; }
+}
+class Circle extends Shape {
+    int weight() { return 3; }
+}
+class Square extends Shape {
+    int weight() { return 5; }
+}
+class Tri extends Shape {
+    int weight() { return 7; }
+}
+class Work {
+    static int step(Shape s, int n) {
+        int acc = s.weight();
+""" + _HEAVY_BODY + """
+    }
+}
+class Bench {
+    static Shape make(int kind) {
+        if (kind == 0) { return new Circle(); }
+        if (kind == 1) { return new Square(); }
+        return new Tri();
+    }
+    static int iterate(int size) {
+        int check = 0;
+        for (int i = 0; i < size; i = i + 1) {
+            Shape s = Bench.make(i - (i / 3) * 3);
+            check = (check + Work.step(s, 40)) & 16777215;
+        }
+        return check;
+    }
+}
+"""
+
+PHASESHIFT = [
+    Workload(
+        name="phaseshift-branch",
+        suite="phaseshift",
+        source=BRANCH_SOURCE,
+        iteration_size=40,
+        warmup_iterations=25,
+        measure_iterations=12,
+        description="branch-flip phase shift ahead of a heavy loop "
+                    "(deopt latency cliff, branch dispatch context)"),
+    Workload(
+        name="phaseshift-mega",
+        suite="phaseshift",
+        source=MEGA_SOURCE,
+        iteration_size=40,
+        warmup_iterations=25,
+        measure_iterations=12,
+        description="megamorphic receiver rotation ahead of a heavy "
+                    "loop (deopt latency cliff, receiver dispatch "
+                    "context)"),
+]
+
+#: Calls before the phase flips in the A/B drivers (past every tier-up
+#: threshold, so the flip hits fully speculated compiled code) and
+#: calls measured after it (the transition window plus steady state).
+WARM_CALLS = 60
+POST_FLIP_CALLS = 48
+_STEP_N = 40
+
+
+def _measure_calls(vm, program, calls) -> Tuple[int, List[float]]:
+    """Run ``(entry, args)`` calls, returning (checksum, per-call
+    simulated-cycle latencies)."""
+    checksum = 0
+    latencies = []
+    before = vm.cycles_snapshot()
+    for entry, args in calls:
+        checksum = (checksum + vm.call(entry, *args)) & 16777215
+        after = vm.cycles_snapshot()
+        latencies.append(after - before)
+        before = after
+    return checksum, latencies
+
+
+def drive_branch(vm, program) -> Dict[str, object]:
+    """Warm ``Work.step`` on phase 0, flip to phase 1, measure the
+    transition window."""
+    warm = [("Work.step", (0, _STEP_N))] * WARM_CALLS
+    post = [("Work.step", (1, _STEP_N))] * POST_FLIP_CALLS
+    checksum, _ = _measure_calls(vm, program, warm)
+    vm.cycles_snapshot()
+    steps_before = vm.exec_stats.interpreter_steps
+    post_checksum, latencies = _measure_calls(vm, program, post)
+    vm.cycles_snapshot()
+    return {
+        "checksum": (checksum * 31 + post_checksum) & 16777215,
+        "post_flip_latencies": latencies,
+        "interpreter_steps_after_flip":
+            vm.exec_stats.interpreter_steps - steps_before,
+    }
+
+
+def drive_mega(vm, program) -> Dict[str, object]:
+    """Warm ``Work.step`` on Circle receivers, then rotate the receiver
+    class every call, measure the transition window."""
+    heap = vm.heap
+    shapes = [heap.new_instance(name)
+              for name in ("Circle", "Square", "Tri")]
+    # Train the receiver profile monomorphic (the interpreter records
+    # receiver classes while Work.step is still interpreted).
+    warm = [("Work.step", (shapes[0], _STEP_N))] * WARM_CALLS
+    post = [("Work.step", (shapes[i % 3], _STEP_N))
+            for i in range(POST_FLIP_CALLS)]
+    checksum, _ = _measure_calls(vm, program, warm)
+    vm.cycles_snapshot()
+    steps_before = vm.exec_stats.interpreter_steps
+    post_checksum, latencies = _measure_calls(vm, program, post)
+    vm.cycles_snapshot()
+    return {
+        "checksum": (checksum * 31 + post_checksum) & 16777215,
+        "post_flip_latencies": latencies,
+        "interpreter_steps_after_flip":
+            vm.exec_stats.interpreter_steps - steps_before,
+    }
+
+
+#: name -> (source, driver) for the deoptless A/B (table1).
+AB_DRIVERS = {
+    "phaseshift-branch": (BRANCH_SOURCE, drive_branch),
+    "phaseshift-mega": (MEGA_SOURCE, drive_mega),
+}

@@ -85,6 +85,7 @@ def _make_cache(args):
 def cmd_run(args) -> int:
     program = _load(args.file)
     call_args = [int(a) for a in args.args]
+    vm = None
     if args.config == "interp":
         interp = Interpreter(program)
         result = interp.call(args.entry, *call_args)
@@ -95,6 +96,8 @@ def cmd_run(args) -> int:
         config_kwargs = {}
         if getattr(args, "service", None):
             config_kwargs["compile_service"] = args.service
+        if getattr(args, "deoptless", False):
+            config_kwargs["deoptless"] = True
         prog = api.compile(program,
                            config=CONFIGS[args.config](**config_kwargs),
                            cache=cache)
@@ -115,6 +118,16 @@ def cmd_run(args) -> int:
           f"bytes={stats.allocated_bytes}  "
           f"monitors={stats.monitor_enters}/{stats.monitor_exits}"
           f"{cycles}")
+    if getattr(args, "profile", False) and vm is not None:
+        d = vm.deoptless.snapshot()
+        print(f"profile: deopts={vm.exec_stats.deopts}  "
+              f"invalidations={vm.invalidations}  "
+              f"interpreter_steps={vm.exec_stats.interpreter_steps}")
+        print(f"deoptless: continuation_compiles="
+              f"{d['continuation_compiles']}  "
+              f"dispatches={d['dispatches']}  "
+              f"dispatch_misses={d['dispatch_misses']}  "
+              f"retirements={d['retirements']}")
     return 0
 
 
@@ -259,7 +272,8 @@ def cmd_fuzz(args) -> int:
     finally:
         if service is not None:
             stats = service.stats.snapshot()
-            print(f"service: {stats['requests']} requests, "
+            print(f"service: {stats['requests']} requests "
+                  f"({stats['continuation_requests']} continuations), "
                   f"{stats['compiles']} compiles, "
                   f"{stats['cache_hits']} cache hits, "
                   f"{stats['dedup_joined']} deduped")
@@ -271,7 +285,8 @@ def cmd_fuzz(args) -> int:
     if cache is not None:
         s = cache.stats
         print(f"cache: {s.hits} hits, {s.misses} misses, "
-              f"{s.validation_failures} stale, {s.evictions} evicted")
+              f"{s.validation_failures} stale, {s.evictions} evicted, "
+              f"{s.continuation_stores} continuation stores")
     for failure in report.failures:
         reproducer = failure.reproducer()
         print(f"  [{failure.category}] {failure.detail} "
@@ -285,7 +300,9 @@ def cmd_cache(args) -> int:
     if args.action == "stats":
         summary = disk_stats(cache_dir)
         print(f"cache directory: {cache_dir}")
-        print(f"graphs:          {summary['graph_files']} entries, "
+        print(f"graphs:          {summary['graph_files']} files, "
+              f"{summary['graph_entries']} variants "
+              f"({summary['continuation_entries']} continuations), "
               f"{summary['graph_bytes']:,} bytes")
         print(f"harness records: {summary['harness_files']} entries, "
               f"{summary['harness_bytes']:,} bytes")
@@ -321,6 +338,13 @@ def main(argv=None) -> int:
     run_parser.add_argument("--config", choices=sorted(CONFIGS),
                             default="pea")
     run_parser.add_argument("--warmup", type=int, default=30)
+    run_parser.add_argument("--deoptless", action="store_true",
+                            help="dispatch deopts into specialized "
+                                 "continuations instead of bridging "
+                                 "through the interpreter")
+    run_parser.add_argument("--profile", action="store_true",
+                            help="print deopt/continuation/dispatch "
+                                 "counters after the measured call")
     run_parser.add_argument("--service", metavar="HOST:PORT",
                             help="tier up through this compile service "
                                  "(background compilation; falls back "
@@ -370,7 +394,8 @@ def main(argv=None) -> int:
 
     fuzz_parser = subparsers.add_parser(
         "fuzz", help="coverage-guided differential fuzzing "
-                     "(interpreter vs legacy vs plan backend)")
+                     "(interpreter vs compiled backends, summaries, "
+                     "codegen, deoptless)")
     fuzz_parser.add_argument("--programs", type=int, default=200)
     fuzz_parser.add_argument("--seed", type=int, default=1234)
     fuzz_parser.add_argument("--corpus-dir",

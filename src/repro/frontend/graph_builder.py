@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..bytecode.classfile import JMethod, Program
-from ..bytecode.instructions import Instruction
+from ..bytecode.instructions import Instruction, MethodRef
 from ..bytecode.interpreter import Profile
 from ..bytecode.opcodes import (INT_COMPARE_BRANCHES, NULL_BRANCHES,
                                 REF_COMPARE_BRANCHES, Op)
@@ -63,17 +63,22 @@ class GraphBuilder:
                  profile: Optional[Profile] = None,
                  speculate_branches: bool = False,
                  speculation_min_samples: int = 50,
-                 osr_bci: Optional[int] = None):
+                 osr_bci: Optional[int] = None,
+                 continuation: Optional[Tuple[int, int,
+                                              Optional[tuple]]] = None):
         if method.is_native:
             raise GraphBuildError(
                 f"cannot build a graph for native method "
                 f"{method.qualified_name}")
-        if osr_bci is not None and method.is_synchronized:
+        if (osr_bci is not None or continuation is not None) and \
+                method.is_synchronized:
             # The interpreter's invoke() holds the method lock around the
             # whole frame; an OSR epilogue would release it a second time.
             raise GraphBuildError(
                 f"no OSR into synchronized method "
                 f"{method.qualified_name}")
+        if osr_bci is not None and continuation is not None:
+            raise GraphBuildError("osr_bci and continuation are exclusive")
         self.program = program
         self.method = method
         self.profile = profile
@@ -81,6 +86,15 @@ class GraphBuilder:
         #: point is the loop header at *osr_bci*, seeded from an
         #: interpreter-frame snapshot instead of the method parameters.
         self.osr_bci = osr_bci
+        #: Deoptless continuation mode: ``(entry_bci, stack_depth,
+        #: context)`` — an OSR-style entry at an arbitrary deopt bci
+        #: (mid-block allowed, operand stack allowed), specialized
+        #: against a dispatch *context* observed at the failing site:
+        #: ``("branch", bci, taken)`` forces that branch direction as an
+        #: assumption-guard, ``("receiver", bci, class_name)`` guards and
+        #: devirtualizes that call site.  ``None`` context compiles an
+        #: unspecialized continuation.
+        self.continuation = continuation
         #: Optimistic compilation: branches never taken in the profile
         #: become FixedGuards that deoptimize if ever reached.
         self.speculate_branches = speculate_branches and profile is not \
@@ -116,7 +130,18 @@ class GraphBuilder:
         graph.start = start
         self._anchor = start
 
-        if self.osr_bci is None:
+        if self.continuation is not None:
+            frame, block, entry_bci = self._build_continuation_entry()
+            if entry_bci == block.start:
+                self._incoming[block.index] = [(self._anchor, frame)]
+            else:
+                # Mid-block entry: lower the tail of the entry block
+                # directly off the start anchor.  If downstream control
+                # flow re-reaches this block's start, the full block is
+                # lowered again there (tail duplication), which is
+                # exactly the OSR-bypass semantics.
+                self._process_block_body(block, entry_bci, frame)
+        elif self.osr_bci is None:
             params = [graph.add(ParameterNode(i))
                       for i in range(self.method.arg_count)]
             graph.parameters = params
@@ -135,11 +160,12 @@ class GraphBuilder:
                 self._append(enter)
                 enter.state_after = self._make_state(0, frame)
 
-            entry_block = self.block_graph.rpo[0]
+            self._incoming[self.block_graph.rpo[0]] = [(self._anchor,
+                                                        frame)]
         else:
             frame, entry_block = self._build_osr_entry()
+            self._incoming[entry_block] = [(self._anchor, frame)]
 
-        self._incoming[entry_block] = [(self._anchor, frame)]
         for block_id in self.block_graph.rpo:
             self._process_block(self.block_graph.blocks[block_id])
         graph.verify()
@@ -181,6 +207,47 @@ class GraphBuilder:
         # The operand stack is empty at a backedge (the interpreter only
         # offers OSR there), so the entry frame carries locals only.
         return BuilderFrame(locals_), block.index
+
+    def _build_continuation_entry(self) -> Tuple[BuilderFrame, BasicBlock,
+                                                 int]:
+        """A deoptless continuation entry: like the OSR entry, but at an
+        arbitrary deopt bci — possibly mid-block, possibly with operand
+        stack values, which become extra ParameterNodes after the live
+        local slots.  The runtime re-enters compiled code with exactly
+        the rematerialized frame the deoptimizer would have handed the
+        interpreter."""
+        graph = self.graph
+        bci, stack_depth, _context = self.continuation
+        if not 0 <= bci < len(self.method.code):
+            raise GraphBuildError(
+                f"continuation bci {bci} out of range in "
+                f"{self.method.qualified_name}")
+        block = self.block_graph.blocks[
+            self.block_graph.block_of_bci[bci]]
+        if block.index not in self.block_graph.reachable:
+            raise GraphBuildError(
+                f"continuation bci {bci} of {self.method.qualified_name} "
+                f"is unreachable")
+        live = self.liveness.live_before(bci)
+        local_count = max(self.method.max_locals, self.method.arg_count)
+        params = []
+        slots = []
+        locals_: List[Node] = []
+        for slot in range(local_count):
+            if slot in live:
+                param = graph.add(ParameterNode(len(params)))
+                params.append(param)
+                slots.append(slot)
+                locals_.append(param)
+            else:
+                locals_.append(graph.null)
+        stack = [graph.add(ParameterNode(len(params) + i))
+                 for i in range(stack_depth)]
+        graph.parameters = params + stack
+        graph.osr_entry_bci = bci
+        graph.osr_local_slots = slots
+        graph.entry_stack_depth = stack_depth
+        return BuilderFrame(locals_, stack), block, bci
 
     # -- plumbing -----------------------------------------------------------
 
@@ -239,9 +306,14 @@ class GraphBuilder:
         if block.index not in self._incoming:
             return  # all paths into this block were speculated away
         frame = self._materialize_entry(block)
+        self._process_block_body(block, block.start, frame)
+
+    def _process_block_body(self, block: BasicBlock, bci: int,
+                            frame: BuilderFrame):
+        """Lower *block*'s instructions starting at *bci* (the block
+        start normally; a later bci for a mid-block continuation entry)."""
         self._block_non_null = set()
         code = self.method.code
-        bci = block.start
         while bci <= block.end:
             insn = code[bci]
             self._current_bci = bci
@@ -450,6 +522,20 @@ class GraphBuilder:
         The dead side's bytecode is not compiled at all; if the guard
         ever fails, execution deoptimizes and the interpreter takes the
         "impossible" path (Section 2's optimistic assumptions)."""
+        context = self.continuation[2] if self.continuation else None
+        if context is not None and context[0] == "branch" and \
+                context[1] == bci:
+            # Deoptless dispatch context: the observed failing branch
+            # direction is compiled as an *assumption* guard, not a
+            # profile fact — the recorder never sees it, so the live
+            # profile (which has watched both directions) cannot falsify
+            # the variant; the context rides the cache key instead.  A
+            # guard failure here simply dispatches to a sibling variant.
+            outcome = bool(context[2])
+            return self._speculate_branch(block, bci, outcome, condition,
+                                          taken_is_true, frame,
+                                          stack_before, taken_block,
+                                          fall_block)
         if not self.speculate_branches:
             return False
         # A loop that tiers up through OSR runs its iterations in
@@ -474,6 +560,15 @@ class GraphBuilder:
             self.method, bci, self.speculation_min_samples)
         if outcome is None:
             return False
+        return self._speculate_branch(block, bci, outcome, condition,
+                                      taken_is_true, frame, stack_before,
+                                      taken_block, fall_block)
+
+    def _speculate_branch(self, block: BasicBlock, bci: int,
+                          outcome: bool, condition: Node,
+                          taken_is_true: bool, frame: BuilderFrame,
+                          stack_before: List[Node], taken_block: int,
+                          fall_block: int) -> bool:
         if outcome:
             survivor, condition_true = taken_block, taken_is_true
         else:
@@ -617,6 +712,13 @@ class GraphBuilder:
         args = frame.pop_many(ref.arg_count)
         if kind in ("virtual", "special"):
             self._null_guard(args[0], bci, frame, stack_before)
+        context = self.continuation[2] if self.continuation else None
+        if kind == "virtual" and context is not None and \
+                context[0] == "receiver" and context[1] == bci:
+            devirt = self._devirtualize(bci, ref, args, frame,
+                                        stack_before, context[2])
+            if devirt is not None:
+                kind, ref, callee = devirt
         invoke = InvokeNode(kind, ref, callee.return_type, bci)
         invoke.source_method = self.method
         self._append(invoke)
@@ -631,16 +733,48 @@ class GraphBuilder:
         if invoke.has_value:
             frame.push(invoke)
 
+    def _devirtualize(self, bci: int, ref, args: List[Node],
+                      frame: BuilderFrame, stack_before: List[Node],
+                      class_name: str):
+        """Deoptless receiver context: guard the observed exact receiver
+        type and call the resolved override directly — the builder-level
+        twin of ``InliningPhase._insert_type_guard`` (continuation
+        graphs skip inlining, so the specialization happens here).
+        Returns ``(kind, ref, callee)`` or None when the type cannot be
+        proven exact."""
+        if self.program.has_subclasses(class_name):
+            return None  # instanceof would not prove the exact type
+        resolved = self.program.resolve_virtual(class_name,
+                                                ref.method_name)
+        if resolved.is_native:
+            return None
+        check = self._append(InstanceOfNode(class_name, value=args[0]))
+        state = self._make_state(bci, frame, stack_before)
+        self._append(FixedGuardNode("type_speculation", condition=check,
+                                    state=state))
+        # Re-anchor the ref at the guarded receiver class: the direct
+        # call resolves through it to the same override the guard
+        # proved (resolve_method walks superclasses).
+        direct = MethodRef(class_name, ref.method_name, ref.arg_count)
+        return "special", direct, resolved
+
 
 def build_graph(program: Program, method: JMethod,
                 profile: Optional[Profile] = None,
                 speculate_branches: bool = False,
                 speculation_min_samples: int = 50,
-                osr_bci: Optional[int] = None) -> Graph:
+                osr_bci: Optional[int] = None,
+                continuation: Optional[Tuple[int, int, Optional[tuple]]]
+                = None) -> Graph:
     """Build and verify the IR graph for *method*.
 
     With *osr_bci* the graph is an on-stack-replacement entry variant:
     execution enters at that loop header, parameters carry the live
-    interpreter locals (see :attr:`Graph.osr_local_slots`)."""
+    interpreter locals (see :attr:`Graph.osr_local_slots`).  With
+    *continuation* (``(bci, stack_depth, context)``) it is a deoptless
+    continuation: entry at an arbitrary deopt bci with *stack_depth*
+    operand-stack parameters after the live locals, specialized against
+    the dispatch *context* (see :mod:`repro.jit.deoptless`)."""
     return GraphBuilder(program, method, profile, speculate_branches,
-                        speculation_min_samples, osr_bci=osr_bci).build()
+                        speculation_min_samples, osr_bci=osr_bci,
+                        continuation=continuation).build()

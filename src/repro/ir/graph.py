@@ -36,6 +36,12 @@ class Graph:
         #: order) the entry expects as arguments — the runtime passes
         #: ``[locals_[slot] for slot in osr_local_slots]``.
         self.osr_local_slots: List[int] = []
+        #: Deoptless continuation entry: number of operand-stack values
+        #: the entry additionally expects *after* the local-slot
+        #: parameters (a continuation may enter mid-expression, e.g. at
+        #: a branch with its operands still on the stack).  The runtime
+        #: passes ``[locals_[s] for s in osr_local_slots] + stack``.
+        self.entry_stack_depth: int = 0
 
     # -- registration ---------------------------------------------------
 

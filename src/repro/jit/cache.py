@@ -74,7 +74,11 @@ from .options import CompilerConfig
 #: digests, so the sharded store can be written by many processes
 #: (compile-service fleet) and a torn, corrupted or cross-shard file is
 #: detected at read time instead of deserializing garbage.
-CACHE_FORMAT = 5
+#: 6: the ``entry_bci`` key dimension may be a deoptless continuation
+#: descriptor ``("cont", bci, stack_depth, context)`` — specialized
+#: continuation variants are cached per dispatch context — and Graph
+#: payloads carry ``entry_stack_depth``.
+CACHE_FORMAT = 6
 
 
 def default_cache_dir() -> str:
@@ -133,6 +137,9 @@ def full_config_fingerprint(config: CompilerConfig) -> str:
                    ("osr_threshold", config.osr_threshold),
                    ("deopt_invalidate_threshold",
                     config.deopt_invalidate_threshold),
+                   ("deoptless", config.deoptless),
+                   ("deoptless_max_variants",
+                    config.deoptless_max_variants),
                    ("compile_bailout", config.compile_bailout),
                    ("cost_model",
                     tuple((f.name, getattr(config.cost_model, f.name))
@@ -342,6 +349,8 @@ class CacheStats:
     validation_failures: int = 0
     evictions: int = 0
     stores: int = 0
+    #: Deoptless continuation variants stored (a subset of ``stores``).
+    continuation_stores: int = 0
     disk_hits: int = 0
     disk_writes: int = 0
     lookup_seconds: float = 0.0
@@ -418,10 +427,14 @@ class CompilationCache:
     @staticmethod
     def compilation_key(program: Program, method: JMethod,
                         config: CompilerConfig, profiled: bool,
-                        entry_bci: Optional[int] = None) -> str:
+                        entry_bci=None) -> str:
         """*entry_bci* distinguishes on-stack-replacement variants (one
         per loop header) from the normal method-entry compilation
-        (``None``) — they are different graphs of the same method."""
+        (``None``) — they are different graphs of the same method.  It
+        may also be a deoptless continuation descriptor
+        ``("cont", bci, stack_depth, context)``: the dispatch context is
+        part of the key, so specialized continuation variants of one
+        deopt site cache independently."""
         return _digest((CACHE_FORMAT, program.content_fingerprint(),
                         method.qualified_name,
                         pipeline_fingerprint(config), profiled,
@@ -489,6 +502,8 @@ class CompilationCache:
                                {"method": method.qualified_name,
                                 "entry_bci": entry_bci})
             self.adopt_entry(entry)
+            if isinstance(entry_bci, tuple):
+                self.stats.continuation_stores += 1
             return entry
         finally:
             self.stats.store_seconds += time.perf_counter() - started
@@ -648,8 +663,14 @@ class CompilationCache:
 
 
 def disk_stats(cache_dir: str) -> Dict[str, Any]:
-    """Entry/byte counts for one on-disk cache directory."""
+    """Entry/byte counts for one on-disk cache directory.
+
+    Graph files are opened (best-effort) to split the variant count
+    into method-entry graphs vs deoptless continuations — a
+    continuation's ``entry_bci`` metadata is the ``("cont", ...)``
+    descriptor tuple, where plain entries carry an int bci or none."""
     summary = {"dir": cache_dir, "graph_files": 0, "graph_bytes": 0,
+               "graph_entries": 0, "continuation_entries": 0,
                "harness_files": 0, "harness_bytes": 0}
     for section, files_key, bytes_key in (
             ("graphs", "graph_files", "graph_bytes"),
@@ -660,11 +681,24 @@ def disk_stats(cache_dir: str) -> Dict[str, Any]:
                 if not name.endswith(".pkl"):
                     continue
                 summary[files_key] += 1
+                path = os.path.join(dirpath, name)
                 try:
-                    summary[bytes_key] += os.path.getsize(
-                        os.path.join(dirpath, name))
+                    summary[bytes_key] += os.path.getsize(path)
                 except OSError:
-                    pass
+                    continue
+                if section != "graphs":
+                    continue
+                try:
+                    with open(path, "rb") as handle:
+                        stored = pickle.load(handle)
+                    entries = stored.get("entries", [])
+                except Exception:
+                    continue
+                summary["graph_entries"] += len(entries)
+                summary["continuation_entries"] += sum(
+                    1 for e in entries
+                    if isinstance(e.get("meta", {}).get("entry_bci"),
+                                  (tuple, list)))
     return summary
 
 

@@ -34,6 +34,7 @@ from ..runtime.codegen import CodegenError, CodegenPlan
 from ..runtime.plan import ExecutionPlan, PlanError
 from .cache import (CacheEntry, CompilationCache, RecordingProfile,
                     load_graph_payload)
+from .deoptless import is_continuation_entry
 from .options import CompilerConfig, EscapeAnalysisKind
 
 
@@ -57,6 +58,11 @@ class CompilationResult:
     #: backend, ``None`` when the graph cannot be structurized (the VM
     #: then uses ``plan``, which is built as the fallback).
     codegen: Optional[CodegenPlan] = None
+    #: The profile facts this compilation consumed (speculations the
+    #: optimized code depends on).  Recorded whether or not a cache is
+    #: attached, so the VM can re-validate installed code against the
+    #: live profile (stale-OSR retirement, continuation dispatch).
+    facts: tuple = ()
 
 
 class Compiler:
@@ -79,9 +85,13 @@ class Compiler:
         self.phase_seconds: Dict[str, float] = {}
 
     def compile(self, method: JMethod,
-                osr_bci: Optional[int] = None) -> CompilationResult:
+                osr_bci=None) -> CompilationResult:
         """Compile *method*; with *osr_bci*, compile the on-stack
-        replacement entry variant whose entry is that loop header."""
+        replacement entry variant whose entry is that loop header.
+        *osr_bci* may also be a deoptless continuation descriptor
+        (:func:`repro.jit.deoptless.continuation_entry`), which compiles
+        an entry at an arbitrary deopt bci specialized against the
+        descriptor's dispatch context."""
         started = time.perf_counter()
         result = self._compile(method, osr_bci)
         self.compile_seconds_total += time.perf_counter() - started
@@ -91,7 +101,7 @@ class Compiler:
         return result
 
     def _compile(self, method: JMethod,
-                 osr_bci: Optional[int] = None) -> CompilationResult:
+                 osr_bci=None) -> CompilationResult:
         config = self.config
 
         if self.cache is not None:
@@ -106,16 +116,24 @@ class Compiler:
                 return CompilationResult(
                     cached.graph, cached.ea_result, cached.node_count,
                     plan, cache_entry=cached.entry, cache_hit=True,
-                    codegen=codegen_plan)
-            profile = RecordingProfile(self.profile) \
-                if self.profile is not None else None
-        else:
-            profile = self.profile
+                    codegen=codegen_plan,
+                    facts=tuple(cached.entry.facts)
+                    if cached.entry is not None else ())
+        # Record consumed facts even without a cache: the VM uses them
+        # to re-validate installed code against the live profile.
+        profile = RecordingProfile(self.profile) \
+            if self.profile is not None else None
+
+        continuation = None
+        if is_continuation_entry(osr_bci):
+            continuation = tuple(osr_bci[1:])  # (bci, stack_depth, ctx)
 
         graph = build_graph(self.program, method, profile,
                             config.speculate_branches,
                             config.speculation_min_samples,
-                            osr_bci=osr_bci)
+                            osr_bci=None if continuation is not None
+                            else osr_bci,
+                            continuation=continuation)
 
         plan = PhasePlan(verify_ir=config.verify_ir)
         # OSR graphs are warm-up bridges and skip inlining: calls from
@@ -213,26 +231,25 @@ class Compiler:
                 execution_plan = None  # VM falls back to GraphInterpreter
                 plan_order = "unsupported"
 
+        facts = tuple(profile.facts) if profile is not None else ()
+        if summary_view is not None:
+            # Summaries are speculation-like facts: a cached graph
+            # is only reusable while every consulted summary still
+            # digests the same against the loading program.
+            facts = facts + summary_view.facts()
         entry = None
         if self.cache is not None:
-            facts = tuple(profile.facts) if profile is not None else ()
-            if summary_view is not None:
-                # Summaries are speculation-like facts: a cached graph
-                # is only reusable while every consulted summary still
-                # digests the same against the loading program.
-                facts = facts + summary_view.facts()
             entry = self.cache.store(
                 self.program, method, config, self.profile, facts,
                 graph, ea_result, graph.node_count(), plan_order,
                 entry_bci=osr_bci, codegen=codegen_payload)
         return CompilationResult(graph, ea_result, graph.node_count(),
                                  execution_plan, cache_entry=entry,
-                                 codegen=codegen_plan)
+                                 codegen=codegen_plan, facts=facts)
 
     def result_from_service(self, method: JMethod, blob: bytes,
                             facts, key: str, meta: Optional[dict],
-                            osr_bci: Optional[int] = None
-                            ) -> CompilationResult:
+                            osr_bci=None) -> CompilationResult:
         """Materialize a compile-service reply exactly like a cache
         hit: attach the detached payload to *this* program, re-link the
         backend lowering, and adopt the entry into the local cache so
@@ -254,13 +271,15 @@ class Compiler:
         return CompilationResult(
             payload["graph"], payload["ea_result"],
             payload["node_count"], plan, cache_entry=entry,
-            cache_hit=True, codegen=codegen_plan)
+            cache_hit=True, codegen=codegen_plan,
+            facts=tuple(map(tuple, facts)))
 
     @staticmethod
-    def _codegen_label(method: JMethod,
-                       osr_bci: Optional[int]) -> str:
+    def _codegen_label(method: JMethod, osr_bci) -> str:
         if osr_bci is None:
             return method.qualified_name
+        if is_continuation_entry(osr_bci):
+            return f"{method.qualified_name}@cont{osr_bci[1]}"
         return f"{method.qualified_name}@osr{osr_bci}"
 
     def _codegen_from_payload(self, graph: Graph, payload, method: JMethod,

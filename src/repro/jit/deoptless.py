@@ -1,0 +1,173 @@
+"""Deoptless: dispatched OSR with specialized continuations.
+
+A failed speculation normally throws the frame back to the interpreter
+and (after a few repeats) invalidates the compiled code — a latency
+cliff exactly when traffic shifts.  Following Flückiger & Krynski
+(*Deoptless*, 2022), a deopt instead becomes a *dispatch point*: the VM
+derives a **dispatch context** from the observed failing runtime state
+(the branch direction or receiver type that falsified the speculation),
+compiles an OSR-style *continuation* entering at the deopt bci whose
+entry parameters are the rematerialized live state, specialized against
+that context, and on every later deopt at the same site dispatches
+among the live variants by re-deriving the context from the current
+state.  Pathological polymorphism is bounded by a per-site variant cap
+with LRU retirement, so the worst case degrades to today's
+deopt-to-interpreter behavior, never below it.
+
+This module owns the parts that need no VM: the continuation cache-key
+descriptor (it rides the existing ``entry_bci`` dimension of the
+compilation cache and the compile-service wire protocol), dispatch
+context derivation (mirroring the interpreter's branch/receiver
+evaluation exactly), and the per-``(method, entry_bci)`` variant table.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..bytecode.classfile import JMethod
+from ..bytecode.interpreter import _COMPARE_FNS
+from ..bytecode.opcodes import Op
+
+#: Tag marking a continuation descriptor in the cache/service
+#: ``entry_bci`` slot (a plain loop-header int means classic OSR).
+CONT_TAG = "cont"
+
+#: A dispatch context: ``("branch", bci, taken)`` or
+#: ``("receiver", bci, class_name)``.
+Context = Tuple[str, int, Any]
+
+
+def continuation_entry(bci: int, stack_depth: int,
+                       context: Optional[Context]) -> tuple:
+    """The cache-key / wire-protocol descriptor for one continuation
+    variant.  Hashable and picklable; rides the ``entry_bci`` field."""
+    return (CONT_TAG, bci, stack_depth, context)
+
+
+def is_continuation_entry(entry_bci) -> bool:
+    return (isinstance(entry_bci, tuple) and len(entry_bci) == 4
+            and entry_bci[0] == CONT_TAG)
+
+
+def derive_context(method: JMethod, bci: int, locals_: List[Any],
+                   stack: List[Any]) -> Optional[Context]:
+    """The dispatch context of a deopt landing at *bci* with the given
+    rematerialized frame, or None when the site is not specializable.
+
+    Mirrors the interpreter's evaluation exactly: a conditional branch's
+    context is the direction it is about to take with the current
+    operands; an invokevirtual's context is the receiver's dynamic
+    class.  Guard states put the stack *before* the failing instruction
+    back on the frame, so the operands are sitting on top of *stack*.
+    """
+    if not 0 <= bci < len(method.code):
+        return None
+    insn = method.code[bci]
+    op = insn.op
+    fn = _COMPARE_FNS.get(op)
+    if fn is not None:
+        if len(stack) < 2:
+            return None
+        taken = bool(fn(stack[-2], stack[-1]))
+        return ("branch", bci, taken)
+    if op is Op.IF_NULL or op is Op.IF_NONNULL:
+        if not stack:
+            return None
+        taken = (stack[-1] is None) == (op is Op.IF_NULL)
+        return ("branch", bci, taken)
+    if op is Op.INVOKEVIRTUAL:
+        ref = insn.operand
+        if len(stack) < ref.arg_count:
+            return None
+        receiver = stack[-ref.arg_count]
+        if receiver is None:
+            return None  # about to raise NPE — not specializable
+        return ("receiver", bci, receiver.class_name)
+    return None
+
+
+@dataclass
+class Variant:
+    """One installed continuation: a bound entry point plus the
+    bookkeeping dispatch needs to retire it."""
+
+    context: Optional[Context]
+    result: Any  # CompilationResult
+    entry: Callable[[List[Any]], Any]
+    #: Speculation facts baked into the variant (for staleness checks).
+    facts: tuple = ()
+    #: The owning method's deopt epoch when the variant was last known
+    #: valid against the live profile.
+    epoch: int = 0
+
+
+@dataclass
+class DeoptlessStats:
+    continuation_compiles: int = 0
+    dispatches: int = 0
+    dispatch_misses: int = 0
+    retirements: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "continuation_compiles": self.continuation_compiles,
+            "dispatches": self.dispatches,
+            "dispatch_misses": self.dispatch_misses,
+            "retirements": self.retirements,
+        }
+
+
+class VariantTable:
+    """Per-``(method, entry_bci)`` continuation variants, LRU-bounded.
+
+    ``lookup`` refreshes recency; ``install`` retires the least recently
+    dispatched variant once a site holds ``max_variants`` — retirement
+    hands the evicted variant back to the caller so the VM can drop its
+    cache entry."""
+
+    def __init__(self, max_variants: int):
+        self.max_variants = max(1, int(max_variants))
+        self._sites: Dict[Tuple[JMethod, int],
+                          "OrderedDict[Optional[Context], Variant]"] = {}
+
+    def lookup(self, method: JMethod, bci: int,
+               context: Optional[Context]) -> Optional[Variant]:
+        site = self._sites.get((method, bci))
+        if site is None:
+            return None
+        variant = site.get(context)
+        if variant is not None:
+            site.move_to_end(context)
+        return variant
+
+    def install(self, method: JMethod, bci: int,
+                variant: Variant) -> Optional[Variant]:
+        """Install (or replace) a variant; returns the retired one, if
+        the cap forced a retirement."""
+        site = self._sites.setdefault((method, bci), OrderedDict())
+        site[variant.context] = variant
+        site.move_to_end(variant.context)
+        if len(site) > self.max_variants:
+            _, retired = site.popitem(last=False)
+            return retired
+        return None
+
+    def remove(self, method: JMethod, bci: int,
+               context: Optional[Context]) -> Optional[Variant]:
+        site = self._sites.get((method, bci))
+        if site is None:
+            return None
+        return site.pop(context, None)
+
+    def variants_at(self, method: JMethod, bci: int) -> List[Variant]:
+        site = self._sites.get((method, bci))
+        return list(site.values()) if site else []
+
+    def site_count(self, method: JMethod, bci: int) -> int:
+        return len(self._sites.get((method, bci), ()))
+
+    def total(self) -> int:
+        return sum(len(site) for site in self._sites.values())

@@ -40,3 +40,16 @@ class VMListener:
     def on_cache_hit(self, method, entry) -> None:
         """A compilation of *method* was served from the compilation
         cache; *entry* is the :class:`~repro.jit.cache.CacheEntry`."""
+
+    def on_continuation_compile(self, method, bci: int, context,
+                                result) -> None:
+        """A deoptless continuation of *method* entering at deopt site
+        *bci*, specialized against dispatch *context* (see
+        :mod:`repro.jit.deoptless`), was compiled; *result* is the
+        :class:`~repro.jit.compiler.CompilationResult`."""
+
+    def on_dispatch(self, method, bci: int, context, hit: bool) -> None:
+        """A deopt of *method* at *bci* reached the deoptless dispatch
+        point with *context*.  ``hit=True`` means execution transferred
+        into a matching continuation variant; ``hit=False`` means no
+        variant matched (yet) and the interpreter bridged this deopt."""

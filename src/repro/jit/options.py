@@ -56,6 +56,22 @@ class CompilerConfig:
     #: Deoptimizations of one method before its code is thrown away and
     #: recompiled without the failed assumption.
     deopt_invalidate_threshold: int = 3
+    #: Deoptless dispatched OSR (Flückiger & Krynski 2022): a deopt at
+    #: a specializable site (conditional branch / invokevirtual) does
+    #: not fall back to the interpreter — the VM derives a dispatch
+    #: context from the failing runtime state, compiles a continuation
+    #: entering at the deopt bci specialized against that context, and
+    #: dispatches among live variants on every later deopt there.
+    #: Deopts still count toward ``deopt_invalidate_threshold``, so the
+    #: method entry converges to unspeculated code exactly as without
+    #: deoptless; the continuations only bridge the re-tiering window
+    #: in compiled code instead of the interpreter.
+    deoptless: bool = False
+    #: Variant cap per (method, deopt bci): beyond this many contexts
+    #: the least-recently-dispatched variant is retired (cache entry
+    #: evicted), so pathological polymorphism degrades to plain deopt
+    #: behavior instead of accumulating code.
+    deoptless_max_variants: int = 4
     #: On a compiler error: True = bail out and stay interpreted (what a
     #: production VM does); False = raise (surfaces compiler bugs, the
     #: right default for a research codebase).

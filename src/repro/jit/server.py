@@ -168,6 +168,9 @@ class ServiceStats:
     """Counters for one :class:`CompileService` instance."""
 
     requests: int = 0
+    #: Deoptless continuation requests (entry_bci was a ``("cont", ...)``
+    #: descriptor) among ``requests``.
+    continuation_requests: int = 0
     #: Requests that joined an identical in-flight compilation.
     dedup_joined: int = 0
     #: Requests answered straight from the shared cache.
@@ -399,8 +402,11 @@ class CompileService:
             # enqueued now would never be drained.  Refuse immediately.
             conn.send(("compile-error", rid, "service shutting down"))
             return
+        from .deoptless import is_continuation_entry
         with self._lock:
             self.stats.requests += 1
+            if is_continuation_entry(entry_bci):
+                self.stats.continuation_requests += 1
             program = self._programs.get(fingerprint)
             if program is None:
                 conn.send(("compile-error", rid,

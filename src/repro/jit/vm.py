@@ -33,10 +33,18 @@ from ..runtime.graph_interpreter import GraphInterpreter
 from ..runtime.plan import BoundPlan, PlanError
 from .cache import CompilationCache
 from .compiler import CompilationResult, Compiler
+from .deoptless import (DeoptlessStats, Variant, VariantTable,
+                        continuation_entry, derive_context,
+                        is_continuation_entry)
 from .listeners import VMListener
 from .options import CompilerConfig
 
 _MIN_RECURSION_LIMIT = 40_000
+
+#: Ceiling on nested deoptless dispatches (a continuation deopting into
+#: a continuation into ...): past it the interpreter bridges, so a
+#: pathological guard chain cannot grow the Python stack unboundedly.
+_MAX_DISPATCH_DEPTH = 8
 
 _log = logging.getLogger("repro.jit.service")
 
@@ -91,9 +99,26 @@ class VM:
         self._interpreter_steps_counted = 0
         self.deopt_counts: Dict[JMethod, int] = {}
         self.invalidations = 0
+        #: Per-method deopt epoch: bumped on every deopt, compared
+        #: against the epoch an OSR variant / continuation was last
+        #: validated at, so stale speculative code is re-checked against
+        #: the live profile before being re-entered (instead of
+        #: deopt-cycling until the invalidate threshold).
+        self._deopt_epoch: Dict[JMethod, int] = {}
+        #: Epoch each installed OSR variant was last validated at.
+        self._osr_epochs: Dict[Tuple[JMethod, int], int] = {}
+        #: Deoptless continuation variants, LRU-capped per deopt site.
+        self._variants = VariantTable(config.deoptless_max_variants)
+        self.deoptless = DeoptlessStats()
+        #: Deopt sites whose continuation build failed (plain deopt).
+        self._continuation_uncompilable: Dict[Tuple[JMethod, int],
+                                              str] = {}
+        self._dispatch_depth = 0
         self._listeners: List[VMListener] = []
         if config.osr:
             self.interpreter.osr_handler = self._handle_osr
+        if config.deoptless:
+            self.deoptimizer.dispatch = self._dispatch_deopt
         #: Compile-service client (background tier-up).  Either injected
         #: (tests, the fleet benchmark) or constructed from
         #: ``config.compile_service``; ``None`` means in-process
@@ -103,6 +128,8 @@ class VM:
         #: Methods with a compile request in flight (value: request id).
         self._service_pending: Dict[JMethod, int] = {}
         self._service_pending_osr: Dict[Tuple[JMethod, int], int] = {}
+        #: In-flight continuation requests: (method, descriptor) -> id.
+        self._service_pending_cont: Dict[Tuple[JMethod, tuple], int] = {}
         #: Fact-validation retries per target (one resubmission with a
         #: fresh profile snapshot, then in-process fallback).
         self._service_retries: Dict[Any, int] = {}
@@ -248,6 +275,8 @@ class VM:
         count = self.profile.record_backedge(method, bci)
         key = (method, bci)
         compiled = self.osr_compiled.get(key)
+        if compiled is not None:
+            compiled = self._validated_osr(key, compiled)
         if compiled is None and self._service is not None and \
                 key in self._service_pending_osr:
             # A reply may have arrived since the last backedge.
@@ -276,6 +305,38 @@ class VM:
             return bound.execute(args)
         return self.graph_interpreter.execute(compiled.graph, args)
 
+    def _validated_osr(self, key: Tuple[JMethod, int],
+                       compiled: CompilationResult
+                       ) -> Optional[CompilationResult]:
+        """Re-validate an installed OSR variant after a deopt.
+
+        Without this, a deopt *inside* OSR'd loop code left the stale
+        variant installed: the interpreter's very next backedge
+        re-entered it, it deopted again, and the loop paid a
+        remat+deopt cycle per iteration until the invalidate threshold
+        tripped.  Comparing the method's deopt epoch costs two dict
+        reads per backedge; when it moved, the variant's recorded facts
+        are checked against the live profile — still valid refreshes
+        the epoch, falsified retires the variant immediately so the
+        compile path below rebuilds it against the updated profile.
+        The backedge counter is cumulative (never reset), so the
+        re-tiering starts hot: the rebuild happens on this very
+        backedge, not after a second warm-up."""
+        method = key[0]
+        epoch = self._deopt_epoch.get(method, 0)
+        if self._osr_epochs.get(key, epoch) == epoch:
+            return compiled
+        from .cache import validate_facts
+        if validate_facts(compiled.facts, self.program, self.profile):
+            self._osr_epochs[key] = epoch
+            return compiled
+        self.osr_compiled.pop(key, None)
+        self._osr_plans.pop(key, None)
+        self._osr_codegen.pop(key, None)
+        self._osr_epochs.pop(key, None)
+        self._evict_results([compiled])
+        return None
+
     def _compile_osr(self, method: JMethod,
                      bci: int) -> Optional[CompilationResult]:
         from ..frontend.graph_builder import GraphBuildError
@@ -300,6 +361,7 @@ class VM:
                      result: CompilationResult) -> None:
         method, bci = key
         self.osr_compiled[key] = result
+        self._osr_epochs[key] = self._deopt_epoch.get(method, 0)
         if result.codegen is not None:
             try:
                 self._osr_codegen[key] = result.codegen.bind(
@@ -319,6 +381,148 @@ class VM:
         if result.cache_hit:
             self._emit("on_cache_hit", method, result.cache_entry)
         self._emit("on_osr_compile", method, bci, result)
+
+    # -- deoptless dispatch ------------------------------------------------
+
+    def _dispatch_deopt(self, frame_state, locals_: List[Any],
+                        stack: List[Any]) -> Tuple[bool, Any]:
+        """Deoptimizer hook (``config.deoptless``): instead of handing
+        the innermost rematerialized frame to the interpreter, derive
+        the dispatch context from the failing state and transfer into a
+        continuation specialized for it — compiling one on first miss.
+        Returns ``(True, result)`` on a dispatch hit, ``(False, None)``
+        to fall back to the plain interpreter bridge."""
+        method = frame_state.method
+        if method.is_synchronized or not method.code or \
+                self._dispatch_depth >= _MAX_DISPATCH_DEPTH:
+            return False, None
+        bci = frame_state.bci
+        context = derive_context(method, bci, locals_, stack)
+        if context is None:
+            return False, None
+        # Record what the interpreter bridge would have recorded at the
+        # deopt site.  The continuation executes compiled code, so
+        # without this the profile never learns the flipped behavior
+        # and every post-invalidation recompile re-speculates the same
+        # falsified direction — deoptless would bridge the deopt cycle
+        # *forever* instead of until the unspeculated recompile.
+        kind, site, observed = context
+        if kind == "branch":
+            self.profile.record_branch(method, site, observed)
+        elif kind == "receiver":
+            self.profile.record_receiver(method, site, observed)
+        variant = self._variants.lookup(method, bci, context)
+        if variant is not None:
+            variant = self._validated_variant(method, bci, variant)
+        if variant is None:
+            variant = self._compile_continuation(method, bci,
+                                                 len(stack), context)
+        if variant is None:
+            self.deoptless.dispatch_misses += 1
+            self._emit("on_dispatch", method, bci, context, False)
+            return False, None
+        self.deoptless.dispatches += 1
+        self._emit("on_dispatch", method, bci, context, True)
+        args = [locals_[slot]
+                for slot in variant.result.graph.osr_local_slots]
+        args.extend(stack)
+        self._dispatch_depth += 1
+        try:
+            return True, variant.entry(args)
+        finally:
+            self._dispatch_depth -= 1
+
+    def _validated_variant(self, method: JMethod, bci: int,
+                           variant: Variant) -> Optional[Variant]:
+        """Epoch-check a continuation variant's non-context facts
+        against the live profile (same discipline as
+        :meth:`_validated_osr`); stale variants are retired."""
+        epoch = self._deopt_epoch.get(method, 0)
+        if variant.epoch == epoch or not variant.facts:
+            return variant
+        from .cache import validate_facts
+        if validate_facts(variant.facts, self.program, self.profile):
+            variant.epoch = epoch
+            return variant
+        self._variants.remove(method, bci, variant.context)
+        self._retire_variant(variant)
+        return None
+
+    def _compile_continuation(self, method: JMethod, bci: int,
+                              stack_depth: int,
+                              context) -> Optional[Variant]:
+        key = (method, bci)
+        if key in self._continuation_uncompilable:
+            return None
+        descriptor = continuation_entry(bci, stack_depth, context)
+        if self._service is not None:
+            return self._service_compile_continuation(method, descriptor)
+        return self._compile_continuation_local(method, descriptor)
+
+    def _compile_continuation_local(self, method: JMethod,
+                                    descriptor: tuple
+                                    ) -> Optional[Variant]:
+        from ..frontend.graph_builder import GraphBuildError
+        key = (method, descriptor[1])
+        try:
+            result = self.compiler.compile(method, osr_bci=descriptor)
+        except GraphBuildError as exc:
+            # Structurally un-enterable deopt site (e.g. mid-loop entry
+            # whose backedge would target an unmaterialized header):
+            # normal — this site keeps plain deopt semantics.
+            self._continuation_uncompilable[key] = \
+                f"{type(exc).__name__}: {exc}"
+            return None
+        except Exception as exc:  # noqa: BLE001 - compile bailout
+            self._continuation_uncompilable[key] = \
+                f"{type(exc).__name__}: {exc}"
+            if self.config.compile_bailout:
+                return None
+            raise
+        return self._install_continuation(method, descriptor, result)
+
+    def _install_continuation(self, method: JMethod, descriptor: tuple,
+                              result: CompilationResult) -> Variant:
+        __, bci, __, context = descriptor
+        entry = None
+        if result.codegen is not None:
+            try:
+                entry = result.codegen.bind(
+                    self.heap, self.exec_stats, self._invoke_callback,
+                    self.deoptimizer,
+                    self.config.collect_node_histogram).execute
+            except CodegenError:
+                entry = None
+        if entry is None and result.plan is not None:
+            try:
+                entry = result.plan.bind(
+                    self.heap, self.exec_stats, self._invoke_callback,
+                    self.deoptimizer,
+                    self.config.collect_node_histogram).execute
+            except PlanError:
+                entry = None
+        if entry is None:
+            graph = result.graph
+            entry = (lambda args:
+                     self.graph_interpreter.execute(graph, args))
+        variant = Variant(context, result, entry,
+                          facts=tuple(result.facts),
+                          epoch=self._deopt_epoch.get(method, 0))
+        retired = self._variants.install(method, bci, variant)
+        if retired is not None:
+            self._retire_variant(retired)
+        self.deoptless.continuation_compiles += 1
+        if result.cache_hit:
+            self._emit("on_cache_hit", method, result.cache_entry)
+        self._emit("on_continuation_compile", method, bci, context,
+                   result)
+        return variant
+
+    def _retire_variant(self, variant: Variant) -> None:
+        """Drop a retired/stale continuation's cache entry so it cannot
+        be re-served (locally or fleet-wide)."""
+        self.deoptless.retirements += 1
+        self._evict_results([variant.result])
 
     # -- compile service (background tier-up) ------------------------------
 
@@ -368,8 +572,38 @@ class VM:
             return self.osr_compiled.get(key)
         return None
 
+    def _service_compile_continuation(self, method: JMethod,
+                                      descriptor: tuple
+                                      ) -> Optional[Variant]:
+        """Continuation compile through the service: same background
+        shape as :meth:`_service_compile_osr` — the interpreter bridges
+        the deopt that missed, and the variant installs when the reply
+        drains.  The descriptor tuple rides the ``entry_bci`` wire
+        field (pickle framing keeps it intact) and keys the shared
+        cache, so one fleet member's continuation serves the others."""
+        self._service_drain()
+        if self._service is None:  # lost during drain
+            return self._compile_continuation_local(method, descriptor)
+        bci, context = descriptor[1], descriptor[3]
+        variant = self._variants.lookup(method, bci, context)
+        if variant is not None:  # the drain just installed it
+            return variant
+        if (method, bci) in self._continuation_uncompilable:
+            return None
+        key = (method, descriptor)
+        if key not in self._service_pending_cont:
+            rid = self._service_submit(method, descriptor)
+            if rid is None:  # lost at submit
+                return self._compile_continuation_local(method,
+                                                        descriptor)
+            self._service_pending_cont[key] = rid
+        if self.config.compile_service_wait:
+            self._service_wait_for(cont_key=key)
+            return self._variants.lookup(method, bci, context)
+        return None
+
     def _service_submit(self, method: JMethod,
-                        entry_bci: Optional[int]) -> Optional[int]:
+                        entry_bci) -> Optional[int]:
         try:
             return self._service.submit(
                 self.program, method.qualified_name, self.config,
@@ -392,6 +626,8 @@ class VM:
 
     def _service_wait_for(self, method: Optional[JMethod] = None,
                           osr_key: Optional[Tuple[JMethod, int]] = None,
+                          cont_key: Optional[Tuple[JMethod,
+                                                   tuple]] = None,
                           timeout: float = _SERVICE_WAIT_TIMEOUT
                           ) -> None:
         """Block until the request for one target resolves (installed,
@@ -401,7 +637,9 @@ class VM:
         def pending() -> bool:
             if method is not None:
                 return method in self._service_pending
-            return osr_key in self._service_pending_osr
+            if osr_key is not None:
+                return osr_key in self._service_pending_osr
+            return cont_key in self._service_pending_cont
         deadline = time.monotonic() + timeout
         while self._service is not None and pending():
             try:
@@ -426,6 +664,14 @@ class VM:
                     osr_key not in self._osr_uncompilable:
                 self.service_fallbacks += 1
                 self._compile_osr(*osr_key)
+        elif cont_key is not None:
+            cmethod, descriptor = cont_key
+            if self._variants.lookup(cmethod, descriptor[1],
+                                     descriptor[3]) is None and \
+                    (cmethod, descriptor[1]) not in \
+                    self._continuation_uncompilable:
+                self.service_fallbacks += 1
+                self._compile_continuation_local(cmethod, descriptor)
 
     def finish_pending_compiles(
             self, timeout: float = _SERVICE_WAIT_TIMEOUT) -> None:
@@ -437,9 +683,11 @@ class VM:
         in-process.  No-op without a service."""
         targets = list(self._service_pending)
         osr_targets = list(self._service_pending_osr)
+        cont_targets = list(self._service_pending_cont)
         deadline = time.monotonic() + timeout
         while self._service is not None and \
-                (self._service_pending or self._service_pending_osr):
+                (self._service_pending or self._service_pending_osr
+                 or self._service_pending_cont):
             try:
                 replies = self._service.wait_any(
                     timeout=max(0.05, deadline - time.monotonic()))
@@ -463,6 +711,13 @@ class VM:
                     key not in self._osr_uncompilable:
                 self.service_fallbacks += 1
                 self._compile_osr(*key)
+        for cmethod, descriptor in cont_targets:
+            if self._variants.lookup(cmethod, descriptor[1],
+                                     descriptor[3]) is None and \
+                    (cmethod, descriptor[1]) not in \
+                    self._continuation_uncompilable:
+                self.service_fallbacks += 1
+                self._compile_continuation_local(cmethod, descriptor)
 
     def _service_install(self, reply) -> None:
         """Atomically install one compile-service reply.
@@ -478,6 +733,9 @@ class VM:
         try:
             method = self.program.method(reply.qualified)
         except Exception:  # noqa: BLE001 - unknown method in reply
+            return
+        if is_continuation_entry(reply.entry_bci):
+            self._service_install_continuation(method, reply)
             return
         osr = reply.entry_bci is not None
         key = (method, reply.entry_bci) if osr else method
@@ -555,6 +813,59 @@ class VM:
         else:
             self._install_compiled(method, result)
 
+    def _service_install_continuation(self, method: JMethod,
+                                      reply) -> None:
+        """Install one continuation reply (same validate/retry/fallback
+        ladder as :meth:`_service_install`, ending in
+        :meth:`_install_continuation`)."""
+        from ..jit.cache import validate_facts
+        descriptor = reply.entry_bci
+        key = (method, descriptor)
+        site = (method, descriptor[1])
+        self._service_pending_cont.pop(key, None)
+        if reply.error is not None:
+            self._service_retries.pop(key, None)
+            if reply.error == "compilation not cacheable":
+                self.service_fallbacks += 1
+                self._compile_continuation_local(method, descriptor)
+                return
+            # GraphBuildError on a structurally un-enterable deopt site
+            # is normal (mirrors _compile_continuation_local); anything
+            # else honors compile_bailout.
+            self._continuation_uncompilable[site] = \
+                f"service: {reply.error}"
+            if not reply.error.startswith("GraphBuildError") and \
+                    not self.config.compile_bailout:
+                raise RuntimeError(
+                    f"{method.qualified_name} continuation at bci "
+                    f"{descriptor[1]} failed to compile via service: "
+                    f"{reply.error}")
+            return
+        facts = tuple(map(tuple, reply.facts))
+        if not validate_facts(facts, self.program, self.profile):
+            retries = self._service_retries.get(key, 0)
+            if retries < 1 and self._service is not None:
+                self._service_retries[key] = retries + 1
+                rid = self._service_submit(method, descriptor)
+                if rid is not None:
+                    self._service_pending_cont[key] = rid
+                    return
+            self._service_retries.pop(key, None)
+            self.service_fallbacks += 1
+            self._compile_continuation_local(method, descriptor)
+            return
+        self._service_retries.pop(key, None)
+        try:
+            result = self.compiler.result_from_service(
+                method, reply.blob, facts, reply.key, reply.meta,
+                osr_bci=descriptor)
+        except Exception:  # noqa: BLE001 - undecodable payload
+            self.service_fallbacks += 1
+            self._compile_continuation_local(method, descriptor)
+            return
+        self.service_installs += 1
+        self._install_continuation(method, descriptor, result)
+
     def _service_lost(self, exc: BaseException) -> None:
         """Demote to in-process compilation, once, with one log line —
         the service is an accelerator, never a correctness
@@ -567,6 +878,7 @@ class VM:
                 pass
         self._service_pending.clear()
         self._service_pending_osr.clear()
+        self._service_pending_cont.clear()
         self._service_retries.clear()
         _log.warning(
             "compile service unavailable (%s: %s); falling back to "
@@ -604,6 +916,8 @@ class VM:
         """Invalidate code that keeps deoptimizing; the next compilation
         sees the updated profile and drops the failed speculation."""
         self._emit("on_deopt", root_method, state)
+        self._deopt_epoch[root_method] = \
+            self._deopt_epoch.get(root_method, 0) + 1
         count = self.deopt_counts.get(root_method, 0) + 1
         self.deopt_counts[root_method] = count
         has_code = (root_method in self.compiled
@@ -627,8 +941,18 @@ class VM:
             self._osr_plans.pop(key, None)
             self._osr_codegen.pop(key, None)
             self._osr_uncompilable.pop(key, None)
+            self._osr_epochs.pop(key, None)
         self.deopt_counts[method] = 0
         self.invalidations += 1
+        # Deoptless continuation variants survive invalidation: their
+        # specialization is context-keyed (an assumption, not a profile
+        # fact), so the falsified speculation that killed the method
+        # entry is exactly what they exist to bridge.  Their *other*
+        # facts are epoch-revalidated at the next dispatch.
+        self._evict_results(invalidated)
+        self._emit("on_invalidate", method, reason)
+
+    def _evict_results(self, invalidated: List[CompilationResult]) -> None:
         if self.cache is not None:
             # The post-deopt profile changes the speculation facts, so
             # the cached entries could never validate again — and a
@@ -646,7 +970,6 @@ class VM:
                                             result.cache_entry.facts)
             except Exception as exc:  # noqa: BLE001
                 self._service_lost(exc)
-        self._emit("on_invalidate", method, reason)
 
     def _invoke_callback(self, kind: str, ref: MethodRef,
                          args: List[Any]) -> Any:

@@ -41,6 +41,16 @@ class Deoptimizer:
         #: :class:`repro.jit.listeners.VMListener` registered via
         #: ``VM.add_listener()`` — not by mutating this.
         self._notify = notify
+        #: Deoptless dispatch hook, called as ``dispatch(frame_state,
+        #: locals_, stack)`` for the innermost frame after its live
+        #: state is rematerialized.  Returns ``(True, value)`` when
+        #: execution transferred into a specialized continuation (the
+        #: value is what the frame returned), ``(False, None)`` to fall
+        #: back to the interpreter.  Set by the VM when
+        #: ``config.deoptless`` is on; all three execution backends
+        #: funnel deopts through here, so this is the single dispatch
+        #: point.
+        self.dispatch: Optional[Callable] = None
 
     @property
     def on_deopt(self):
@@ -85,6 +95,20 @@ class Deoptimizer:
             stack = [resolve(v) for v in frame_state.stack_values]
             locks = [resolve(v) for v in frame_state.locks]
             if index == 0:
+                if self.dispatch is not None and not locks:
+                    # Deoptless: hand the rematerialized innermost frame
+                    # to the dispatcher, which may transfer into a
+                    # continuation compilation instead of interpreting.
+                    # Frames holding locks stay on the interpreter path
+                    # (continuation entries have no lock re-entry
+                    # prologue).  Outer (inlined-caller) frames below
+                    # still interpret to their returns as usual.
+                    handled, value = self.dispatch(frame_state, locals_,
+                                                   stack)
+                    if handled:
+                        result = value
+                        has_result = True
+                        continue
                 pc = frame_state.bci  # re-execute the guarded instruction
             else:
                 # Outer frame: resume after the invoke, pushing the

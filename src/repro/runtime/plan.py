@@ -448,9 +448,22 @@ class _PlanBinder:
 
         return evaluate
 
-    def _compile_expr(self, node: Node, shared: Set[Node]):
+    def _compile_expr(self, node: Node, shared: Set[Node],
+                      compiled: Dict[Node, Callable] = None):
         """A ``closure(slots, memo) -> value`` for one expression node,
-        charging costs in the interpreter's (post-order) order."""
+        charging costs in the interpreter's (post-order) order.
+
+        *compiled* caches the closure built for each shared node: a
+        shared node's closure is memo-checked at runtime anyway, so
+        every reference can reuse one closure object.  Without this the
+        compile-time walk re-expands shared subtrees once per
+        reference — exponential on chains like
+        ``acc = f(acc, acc); acc = f(acc, acc); ...``."""
+        if compiled is None:
+            compiled = {}
+        cached = compiled.get(node)
+        if cached is not None:
+            return cached
         if isinstance(node, ConstantNode):
             value = node.value
             return lambda slots, memo: value
@@ -471,8 +484,8 @@ class _PlanBinder:
                      if isinstance(node, BinaryArithmeticNode)
                      else COMPARE_EVAL)
             op = table[node.op]
-            x = self._compile_expr(node.x, shared)
-            y = self._compile_expr(node.y, shared)
+            x = self._compile_expr(node.x, shared, compiled)
+            y = self._compile_expr(node.y, shared, compiled)
             cost = self.plan.cost_model.node_cost(node)
 
             def evaluate(slots, memo, _op=op, _x=x, _y=y, _cost=cost,
@@ -482,7 +495,7 @@ class _PlanBinder:
                 return value
 
         elif isinstance(node, NegNode):
-            operand = self._compile_expr(node.value, shared)
+            operand = self._compile_expr(node.value, shared, compiled)
             cost = self.plan.cost_model.node_cost(node)
 
             def evaluate(slots, memo, _operand=operand, _cost=cost,
@@ -492,9 +505,12 @@ class _PlanBinder:
                 return value
 
         elif isinstance(node, ConditionalNode):
-            condition = self._compile_expr(node.condition, shared)
-            true_value = self._compile_expr(node.true_value, shared)
-            false_value = self._compile_expr(node.false_value, shared)
+            condition = self._compile_expr(node.condition, shared,
+                                           compiled)
+            true_value = self._compile_expr(node.true_value, shared,
+                                            compiled)
+            false_value = self._compile_expr(node.false_value, shared,
+                                             compiled)
             cost = self.plan.cost_model.node_cost(node)
 
             def evaluate(slots, memo, _condition=condition,
@@ -520,6 +536,7 @@ class _PlanBinder:
                 memo[_node] = value
                 return value
 
+            compiled[node] = memoized
             return memoized
         return evaluate
 

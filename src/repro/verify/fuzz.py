@@ -9,16 +9,17 @@ One fuzz iteration:
    :class:`~repro.verify.verifier.GraphVerifier` running after every
    phase; collect *coverage keys* (IR node kinds in the final graph,
    PEA statistic buckets, plan-lowering fallback).
-3. Run the same warm-up + probe call sequence under five engines —
+3. Run the same warm-up + probe call sequence under six engines —
    the reference bytecode interpreter, the legacy
    :class:`GraphInterpreter` backend, the threaded-code plan backend,
-   the generated-Python codegen backend, and the plan backend with
-   interprocedural escape summaries (``escape_summaries=True``) — and
-   compare per-call return values,
+   the generated-Python codegen backend, the plan backend with
+   interprocedural escape summaries (``escape_summaries=True``), and
+   the plan backend with deoptless continuation dispatch
+   (``deoptless=True``) — and compare per-call return values,
    heap allocation counts, monitor balance, deopt counts and the final
    static object graph (the rematerialized escape state).  The
-   summary engine must match the plan engine on every observable and
-   may only *lower* the allocation count.
+   summary and deoptless engines must match the plan engine on every
+   observable and may only *lower* the allocation count.
 4. Programs that exercise new coverage are queued for mutation; a
    mismatch or verifier failure is delta-debugged down to a minimal
    reproducer (:mod:`repro.verify.shrink`) and persisted to the
@@ -139,6 +140,7 @@ class EngineOutcome:
     g0_summary: object
     gi: object
     osr_entries: int = 0
+    dispatches: int = 0
 
 
 @dataclass
@@ -197,8 +199,8 @@ def run_engine_vm(make_program: Callable[[], object], backend: str,
                   probes=PROBE_CALLS,
                   cache: Optional[CompilationCache] = None,
                   escape_summaries: bool = False,
-                  service_address: Optional[str] = None
-                  ) -> EngineOutcome:
+                  service_address: Optional[str] = None,
+                  deoptless: bool = False) -> EngineOutcome:
     program = make_program()
     # osr_threshold sits below the hot-loop generator shape's trip
     # count so "hot loop in a cold method" programs tier up at the
@@ -206,12 +208,20 @@ def run_engine_vm(make_program: Callable[[], object], backend: str,
     # engines block on every reply (compile_service_wait): compile
     # points then line up call-for-call with in-process compilation,
     # so the differential oracle stays deterministic.
+    # speculation_min_samples sits at the warm-up call count: straight-
+    # line branches then carry exactly enough profile to speculate at
+    # the method-entry compile, not just the loop-body branches that
+    # accumulate trip-count samples.  Probe deopts therefore land both
+    # *before* loops (continuation-eligible, exercising deoptless
+    # dispatch) and inside them (exercising its plain-deopt fallback).
     config = CompilerConfig.partial_escape(
         compile_threshold=3, osr_threshold=25,
+        speculation_min_samples=3,
         execution_backend=backend,
         escape_summaries=escape_summaries,
         compile_service=service_address,
-        compile_service_wait=service_address is not None)
+        compile_service_wait=service_address is not None,
+        deoptless=deoptless)
     vm = VM(program, config, cache=cache)
     for _ in range(WARM_CALLS):
         vm.call(ENTRY, *WARM_ARGS)
@@ -225,7 +235,8 @@ def run_engine_vm(make_program: Callable[[], object], backend: str,
         invalidations=vm.invalidations,
         g0_summary=summarize_value(program.get_static("Main", "g0")),
         gi=program.get_static("Main", "gi"),
-        osr_entries=vm.osr_entries)
+        osr_entries=vm.osr_entries,
+        dispatches=vm.deoptless.dispatches)
 
 
 def compare_outcomes(outcomes: Dict[str, EngineOutcome]
@@ -293,6 +304,37 @@ def compare_outcomes(outcomes: Dict[str, EngineOutcome]
                     f"{summaries.allocations} > baseline "
                     f"{plan.allocations} — summaries must never add "
                     "heap allocations")
+    deoptless = outcomes.get("deoptless")
+    if deoptless is not None:
+        # Deoptless replaces interpreted deopt bridges with compiled
+        # continuations.  The generic reference loop above already
+        # pins the hard invariants — identical per-call results and
+        # final statics (the checksums), balanced monitors, and
+        # allocations bounded by the interpreter.  Allocation and
+        # monitor-enter *counts* are deliberately not compared against
+        # the plan engine once a dispatch happened: a continuation is
+        # compiled code, so it can hit further guards the interpreted
+        # bridge would simply execute — deopt totals and therefore
+        # invalidation schedules diverge by design, and the
+        # post-invalidation recompiles elide different allocations and
+        # monitor pairs.  When *no* dispatch was attempted, though,
+        # deoptless was pure overhead-free observation and the two
+        # configurations must be bit-identical.
+        untouched = (deoptless.dispatches == 0
+                     and not outcomes["plan"].deopts
+                     and not deoptless.deopts)
+        if untouched and (
+                deoptless.allocations != plan.allocations
+                or deoptless.monitor_enters != plan.monitor_enters
+                or deoptless.osr_entries != plan.osr_entries):
+            return ("deoptless-off-path-mismatch",
+                    f"no deopt occurred, yet deoptless "
+                    f"allocs={deoptless.allocations} "
+                    f"monitors={deoptless.monitor_enters} "
+                    f"osr={deoptless.osr_entries}; plan "
+                    f"allocs={plan.allocations} "
+                    f"monitors={plan.monitor_enters} "
+                    f"osr={plan.osr_entries}")
     return None
 
 
@@ -366,6 +408,9 @@ def check_source(source: str,
                 service_address=service_address)),
             ("summaries", lambda p: run_engine_vm(
                 p, "plan", cache=cache, escape_summaries=True,
+                service_address=service_address)),
+            ("deoptless", lambda p: run_engine_vm(
+                p, "plan", cache=cache, deoptless=True,
                 service_address=service_address))):
         try:
             outcomes[name] = runner(make_program)
@@ -381,6 +426,8 @@ def check_source(source: str,
         coverage.add("run:osr")
     if any(o.invalidations for o in outcomes.values()):
         coverage.add("run:invalidation")
+    if any(o.dispatches for o in outcomes.values()):
+        coverage.add("run:dispatch")
     return CheckResult(compare_outcomes(outcomes), coverage)
 
 
@@ -435,7 +482,7 @@ def save_corpus_entry(corpus_dir: str, name: str,
 def replay_corpus_entry(jasm_path: str,
                         cache: Optional[CompilationCache] = None
                         ) -> Optional[Tuple[str, str]]:
-    """Re-run one persisted reproducer under all five engines and
+    """Re-run one persisted reproducer under all six engines and
     check it against its recorded expectations.  Returns ``None`` when
     everything still agrees, else ``(category, detail)``."""
     from ..bytecode.asmtext import assemble
@@ -457,6 +504,8 @@ def replay_corpus_entry(jasm_path: str,
                                  cache=cache),
         "summaries": run_engine_vm(make_program, "plan", probes,
                                    cache=cache, escape_summaries=True),
+        "deoptless": run_engine_vm(make_program, "plan", probes,
+                                   cache=cache, deoptless=True),
     }
     expected = meta["expected"]
     reference = outcomes["interp"]

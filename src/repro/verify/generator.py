@@ -246,10 +246,12 @@ class ProgramGenerator:
                  "read_global", "if", "loop", "sync", "call",
                  "branch_escape", "branch_escape", "loop_virtual",
                  "array_mix", "sync_escape", "deopt_window",
-                 "hot_loop", "borrow_call", "codegen_mix"])
+                 "hot_loop", "borrow_call", "codegen_mix",
+                 "phase_flip"])
             if kind in ("if", "loop", "sync", "branch_escape",
                         "loop_virtual", "sync_escape", "deopt_window",
-                        "hot_loop", "codegen_mix") and depth >= 2:
+                        "hot_loop", "codegen_mix",
+                        "phase_flip") and depth >= 2:
                 kind = "assign_int"
             if kind == "call" and not callable_helpers:
                 kind = "store_field"
@@ -453,6 +455,37 @@ class ProgramGenerator:
                     f"x{self._int(0, self.INT_LOCALS - 1)} = "
                     f"{t}.f0 + {u}.f1;"))
                 budget -= 4
+            elif kind == "phase_flip":
+                # Deoptless's target shape: speculation trained one
+                # way during warm-up, then flipped *inside a hot
+                # loop*.  ``flip`` is 0 on every warm call, so the
+                # in-loop branch trains never-taken and compiles to a
+                # guard; a magic probe sets ``flip`` before the loop
+                # and the guard fails mid-loop on the first
+                # iteration.  With ``config.deoptless`` this
+                # exercises both dispatch paths differentially: the
+                # magic branch (before the loop) is
+                # continuation-eligible, while the in-loop guard's
+                # entry would be a backedge into an unmaterialized
+                # loop header, so it must degrade to a plain deopt.
+                var = self.fresh_name("t")
+                fvar = self.fresh_name("p")
+                ivar = self.fresh_name("i")
+                bound = self._int(40, 80)
+                escape = (f"if ({fvar} == 1) {{ g0 = {var}; }} "
+                          if self._int(0, 1) else "")
+                result.append(Stmt.leaf(
+                    f"Data {var} = new Data(); int {fvar} = 0; "
+                    f"if ({self.magic_condition()}) {{ {fvar} = 1; }} "
+                    f"for (int {ivar} = 0; {ivar} < {bound}; "
+                    f"{ivar} = {ivar} + 1) {{ "
+                    f"if ({fvar} == 1) {{ "
+                    f"{var}.f1 = {var}.f1 + {ivar} * 3; }} "
+                    f"else {{ {var}.f0 = {var}.f0 + {ivar}; }} }} "
+                    f"{escape}"
+                    f"x{self._int(0, self.INT_LOCALS - 1)} = "
+                    f"{var}.f0 + {var}.f1;"))
+                budget -= 3
             elif kind == "deopt_window":
                 # A cold branch that allocates, links and escapes: when
                 # a probe call finally takes it, the deoptimizer must

@@ -410,11 +410,13 @@ class GraphVerifier:
         if bci is None:
             return
         slots = list(getattr(self.graph, "osr_local_slots", []))
+        stack_depth = getattr(self.graph, "entry_stack_depth", 0)
         params = self.graph.parameters
-        if len(params) != len(slots):
+        if len(params) != len(slots) + stack_depth:
             self._report(
                 f"OSR graph has {len(params)} parameters but "
-                f"{len(slots)} entry local slots")
+                f"{len(slots)} entry local slots + {stack_depth} entry "
+                f"stack values")
             return
         if len(set(slots)) != len(slots):
             self._report(f"OSR entry local slots not distinct: {slots}")

@@ -189,6 +189,29 @@ def test_synchronized_method_never_osr():
     assert not vm.osr_compiled
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_stale_osr_variant_does_not_deopt_cycle(backend):
+    """Regression: after a deopt inside OSR'd loop code, the stale OSR
+    variant must not be re-entered verbatim on the very next backedge.
+    It used to be: re-enter, guard fails on the next iteration, deopt,
+    repeat — a remat+deopt cycle per iteration until the invalidate
+    threshold tripped.  Now the variant is re-validated against the
+    live profile (which just recorded the falsifying branch), retired,
+    and rebuilt unspeculated on the same backedge — so the whole run
+    costs exactly one deopt and no invalidation."""
+    vm, _ = fresh_vm(ESCAPE_LOOP_SOURCE, backend=backend)
+    listener = Recorder()
+    vm.add_listener(listener)
+    interp = run_interpreted(ESCAPE_LOOP_SOURCE, "Main.run", (2_000,))
+    assert vm.call("Main.run", 2_000) == interp.result
+    assert vm.exec_stats.deopts == 1
+    assert vm.invalidations == 0
+    # Original speculated variant + the post-deopt unspeculated rebuild.
+    assert len(listener.osr_compiles) == 2
+    # The retired variant is gone; the rebuilt one is installed.
+    assert len(vm.osr_compiled) == 1
+
+
 def test_invalidation_drops_osr_variants():
     """Deopt-triggered invalidation of a method discards its OSR
     variants along with the normal-entry code."""
