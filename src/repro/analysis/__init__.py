@@ -9,8 +9,13 @@ Three layers (ISSUE 5):
   consulted by Partial Escape Analysis at Invoke sites.
 - :mod:`repro.analysis.diagnostics` — escape-site attribution and lint
   passes backing the ``repro analyze`` / ``repro lint`` CLI.
+- :mod:`repro.analysis.conngraph` — the cheap connection-graph escape
+  tier (ISSUE 9): Tarjan-condensed escape-root reachability feeding
+  stack allocation and lock elision without running PEA.
 """
 
+from .conngraph import (ConnectionGraph, ConnGraphLockElisionPhase,
+                        tarjan_sccs)
 from .dataflow import (BackwardSolver, BytecodeCFG, DataflowResult,
                        ForwardSolver, IRCFG)
 from .summaries import (MethodSummary, ParamSummary, ParamEscape,
@@ -19,5 +24,6 @@ from .summaries import (MethodSummary, ParamSummary, ParamEscape,
 __all__ = [
     "ForwardSolver", "BackwardSolver", "DataflowResult", "BytecodeCFG",
     "IRCFG", "SummaryDatabase", "MethodSummary", "ParamSummary",
-    "ParamEscape",
+    "ParamEscape", "ConnectionGraph", "ConnGraphLockElisionPhase",
+    "tarjan_sccs",
 ]

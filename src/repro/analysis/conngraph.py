@@ -1,0 +1,423 @@
+"""Connection-graph escape analysis — the cheap tier.
+
+This is the CoreCLR-``objectalloc`` style analysis: build a *connection
+graph* whose directed edges ``u -> v`` mean "if ``u`` escapes, ``v``
+escapes", condense it with Tarjan's strongly-connected-components
+algorithm, seed *escape roots* (stores to statics, returned values,
+arguments to unmodeled calls, references from node categories we do not
+model) and propagate escape over the condensation.  Allocations whose
+component is not reachable from a root never escape and are eligible
+for stack allocation and lock elision.
+
+Relative to the two analyses that already exist here:
+
+* It is strictly cheaper than :class:`repro.pea.PartialEscapePhase` —
+  flow-insensitive, no virtual-object state, no materialization, a
+  single linear pass plus one SCC condensation — which makes it the
+  right tier for cold code and for the compile service's latency
+  budget.
+* It is at least as precise as the union-find
+  :class:`repro.pea.equi_escape.EquiEscapeSets` baseline: a union-find
+  must merge a container with everything stored into it, so an escaping
+  *content* poisons its (otherwise local) container.  The connection
+  graph keeps the store edge one-way (``container -> content``): an
+  escaping content never taints the container.
+
+Like the other analyses, references from frame states and deoptimize
+nodes do **not** escape (they are rematerialized on deopt — Kotzmann &
+Mössenböck's insight, which the paper's PEA builds on), and there are
+no thrown exceptions in the language yet, so "thrown" roots reduce to
+the deopt case.  Interprocedural precision comes from the PR 5 escape
+summaries: a summarized callee contributes ``flows_to``/``returned``
+edges at the call site instead of a worst-case escape root.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set
+
+from ..bytecode.classfile import Program
+from ..ir.graph import Graph
+from ..ir.node import FixedWithNextNode, Node
+from ..ir.nodes import (ArrayLengthNode, BeginNode, ConstantNode,
+                        DeoptimizeNode, EscapeObjectStateNode,
+                        FixedGuardNode, FrameStateNode,
+                        IfNode, InstanceOfNode, InvokeNode, IsNullNode,
+                        LoadFieldNode, LoadIndexedNode, LoadStaticNode,
+                        MonitorEnterNode, MonitorExitNode, NewArrayNode,
+                        NewInstanceNode, PhiNode, RefEqualsNode,
+                        ReturnNode, StoreFieldNode, StoreIndexedNode,
+                        StoreStaticNode)
+from ..opt.phase import Phase
+
+
+def tarjan_sccs(vertices: Iterable[Hashable],
+                successors: Callable[[Hashable], Iterable[Hashable]]
+                ) -> List[List[Hashable]]:
+    """Iterative Tarjan strongly-connected components.
+
+    Returns the components in **reverse topological order** of the
+    condensation (every component is emitted before any of its
+    predecessors), which is the order Tarjan produces naturally.  The
+    implementation is an explicit work-stack state machine so deep
+    graphs cannot overflow Python's recursion limit.
+    """
+    index: Dict[Hashable, int] = {}
+    lowlink: Dict[Hashable, int] = {}
+    on_stack: Set[Hashable] = set()
+    stack: List[Hashable] = []
+    components: List[List[Hashable]] = []
+    counter = 0
+
+    for root in vertices:
+        if root in index:
+            continue
+        # Each work item is (vertex, iterator over remaining successors).
+        work = [(root, iter(list(successors(root))))]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            vertex, successor_iter = work[-1]
+            advanced = False
+            for successor in successor_iter:
+                if successor not in index:
+                    index[successor] = lowlink[successor] = counter
+                    counter += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append(
+                        (successor, iter(list(successors(successor)))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[vertex] = min(lowlink[vertex],
+                                          index[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[vertex])
+            if lowlink[vertex] == index[vertex]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member is vertex:
+                        break
+                components.append(component)
+    return components
+
+
+class ConnectionGraph:
+    """One method's connection graph.
+
+    ``build()`` walks the IR once collecting directed escape edges and
+    roots; ``analyze()`` condenses and propagates, returning the set of
+    allocation nodes that never escape.
+    """
+
+    #: Node types whose *reference* inputs do not make an object escape
+    #: (same safe-user set as the equi-escape baseline: pure reads,
+    #: identity tests, monitors, frame states, guards).  An
+    #: ``EscapeObjectStateNode`` is a frame-state appendage — the deopt
+    #: snapshot of a still-virtual PEA object; a reference from one is
+    #: no more an escape than a reference from the frame state itself,
+    #: and treating it as unmodeled would root every allocation PEA
+    #: materialized next to a surviving virtual object.
+    _SAFE_USERS = (LoadFieldNode, ArrayLengthNode, RefEqualsNode,
+                   IsNullNode, InstanceOfNode, MonitorEnterNode,
+                   MonitorExitNode, FrameStateNode,
+                   EscapeObjectStateNode, FixedGuardNode,
+                   IfNode, DeoptimizeNode, LoadIndexedNode)
+    #: Node types that are modeled explicitly by the edge builder.
+    _MODELED_USERS = (PhiNode, StoreFieldNode, StoreIndexedNode,
+                      StoreStaticNode, ReturnNode, InvokeNode)
+
+    def __init__(self, graph: Graph, program: Optional[Program] = None,
+                 summaries=None):
+        self.graph = graph
+        self.program = program
+        self.summaries = summaries
+        #: ``edges[u]`` = nodes that escape whenever ``u`` escapes.
+        self.edges: Dict[Node, List[Node]] = {}
+        self.roots: Set[Node] = set()
+        self.allocations: List[Node] = []
+        #: Invoke results that alias a tracked argument (``returned``
+        #: summaries); they get the same unmodeled-user sweep as
+        #: allocations.
+        self.result_aliases: List[Node] = []
+        self._built = False
+
+    # -- construction ---------------------------------------------------
+
+    def _add_edge(self, source: Optional[Node], target: Optional[Node]):
+        if source is None or target is None or source is target:
+            return
+        if isinstance(target, ConstantNode):
+            return
+        self.edges.setdefault(source, []).append(target)
+
+    def _add_root(self, node: Optional[Node]):
+        if node is None or isinstance(node, ConstantNode):
+            return
+        self.roots.add(node)
+
+    def build(self) -> "ConnectionGraph":
+        if self._built:
+            return self
+        self._built = True
+        for node in self.graph.nodes():
+            if isinstance(node, (NewInstanceNode, NewArrayNode)):
+                self.allocations.append(node)
+            elif isinstance(node, PhiNode):
+                # A phi is an alias of each of its inputs; escape flows
+                # both ways so a phi group behaves exactly like PEA's
+                # merge-point materialization rule (if any member
+                # escapes, every allocation flowing into the phi does).
+                for value in node.values:
+                    if value is not node and self._is_tracked(value):
+                        self._add_edge(node, value)
+                        self._add_edge(value, node)
+            elif isinstance(node, StoreFieldNode):
+                self._store_edge(node.object, node.value,
+                                 self._is_reference_field(node))
+            elif isinstance(node, StoreIndexedNode):
+                self._store_edge(node.array, node.value,
+                                 self._is_reference_array(node.array))
+            elif isinstance(node, StoreStaticNode):
+                self._add_root(node.value)
+            elif isinstance(node, ReturnNode):
+                self._add_root(node.value)
+            elif isinstance(node, InvokeNode):
+                self._process_invoke(node)
+        # References from node categories the builder does not model
+        # escape conservatively.
+        for tracked in self.allocations + self.result_aliases:
+            for user in tracked.usages:
+                if not isinstance(user,
+                                  self._SAFE_USERS + self._MODELED_USERS):
+                    self._add_root(tracked)
+        # Phis rooted (partly) in references of unknown provenance
+        # (parameters, loads, unsummarized call results) taint the phi —
+        # and through the bidirectional phi edges, its members.
+        for node in self.graph.nodes():
+            if not isinstance(node, PhiNode):
+                continue
+            for value in node.values:
+                if value is None or value is node:
+                    continue
+                if not isinstance(value, (NewInstanceNode, NewArrayNode,
+                                          PhiNode, ConstantNode)):
+                    if self._holds_reference(value):
+                        self._add_root(node)
+        return self
+
+    def _store_edge(self, container: Optional[Node],
+                    value: Optional[Node], is_reference: bool):
+        """A store is the one-way edge: content escapes if the
+        container does — never the other way around."""
+        if not is_reference or not self._is_tracked(value):
+            return
+        if container is None:
+            return
+        if isinstance(container, (NewInstanceNode, NewArrayNode,
+                                  PhiNode)):
+            self._add_edge(container, value)
+        else:
+            # Stored into a container outside our tracking (parameter,
+            # load, call result): the value is reachable from unknown
+            # code.
+            self._add_root(value)
+
+    def _process_invoke(self, node: InvokeNode):
+        summary = None
+        if self.summaries is not None:
+            summary = self.summaries.summary_for_call(node.target)
+        if summary is None or summary.is_top:
+            for argument in node.arguments:
+                self._add_root(argument)
+            return
+        for position, argument in enumerate(node.arguments):
+            if argument is None or isinstance(argument, ConstantNode):
+                continue
+            param = summary.param(position)
+            if param.captured:
+                self._add_root(argument)
+                continue
+            if not self._is_tracked(argument):
+                continue
+            for target in param.flows_to:
+                if target < len(node.arguments) and \
+                        self._is_tracked(node.arguments[target]):
+                    # Stored into the target parameter: escape flows
+                    # from that container to this argument.
+                    self._add_edge(node.arguments[target], argument)
+                else:
+                    self._add_root(argument)
+            if param.returned:
+                # The call result aliases the argument.
+                self._add_edge(node, argument)
+                self.result_aliases.append(node)
+
+    # -- condensation + propagation -------------------------------------
+
+    def condensation(self) -> List[List[Node]]:
+        """SCCs of the connection graph in reverse topological order."""
+        self.build()
+        vertices: List[Node] = []
+        seen: Set[Node] = set()
+        for node in list(self.edges) + list(self.roots) + \
+                self.allocations + self.result_aliases:
+            if node not in seen:
+                seen.add(node)
+                vertices.append(node)
+        return tarjan_sccs(
+            vertices, lambda v: self.edges.get(v, ()))
+
+    def escaped_nodes(self) -> Set[Node]:
+        """All nodes reachable from an escape root along the edges."""
+        components = self.condensation()
+        component_of: Dict[Node, int] = {}
+        for position, component in enumerate(components):
+            for member in component:
+                component_of[member] = position
+        escaped_components: Set[int] = {
+            position for position, component in enumerate(components)
+            if any(member in self.roots for member in component)}
+        # Tarjan emits reverse topological order, so iterating
+        # back-to-front visits every component after all of its
+        # predecessors: one pass propagates escape along ``u -> v``.
+        for position in range(len(components) - 1, -1, -1):
+            if position not in escaped_components:
+                continue
+            for member in components[position]:
+                for successor in self.edges.get(member, ()):
+                    escaped_components.add(component_of[successor])
+        escaped: Set[Node] = set()
+        for position in escaped_components:
+            escaped.update(components[position])
+        return escaped
+
+    def analyze(self) -> Set[Node]:
+        """The allocations that never escape."""
+        escaped = self.escaped_nodes()
+        return {allocation for allocation in self.allocations
+                if allocation not in escaped}
+
+    # -- helpers --------------------------------------------------------
+
+    def _is_tracked(self, node: Optional[Node]) -> bool:
+        return isinstance(node, (NewInstanceNode, NewArrayNode, PhiNode))
+
+    def _is_reference_field(self, store: StoreFieldNode) -> bool:
+        if self.program is None:
+            return True
+        try:
+            jfield = self.program.resolve_field(store.field.class_name,
+                                                store.field.field_name)
+        except Exception:  # noqa: BLE001 - unresolved: stay conservative
+            return True
+        return jfield.type_name not in ("int", "boolean")
+
+    @staticmethod
+    def _is_reference_array(array: Optional[Node]) -> bool:
+        if isinstance(array, NewArrayNode):
+            return array.elem_type not in ("int", "boolean")
+        return True
+
+    @staticmethod
+    def _holds_reference(node: Node) -> bool:
+        return isinstance(node, (LoadFieldNode, LoadIndexedNode,
+                                 LoadStaticNode, InvokeNode)) or \
+            type(node).__name__ == "ParameterNode"
+
+
+#: Node types that may appear between an elidable monitor enter/exit
+#: pair.  The critical exclusions are anything that can *deoptimize*
+#: (FixedGuardNode, DeoptimizeNode) or call out (InvokeNode): after a
+#: deopt the interpreter would execute the bytecode ``monitorexit`` on
+#: an object whose ``monitorenter`` was elided and trap with
+#: ``IllegalMonitorState``.  PEA avoids this by rematerializing the
+#: lock depth with the virtual object; this cheap tier simply refuses
+#: the pair.
+_ELISION_SAFE_BETWEEN = (LoadFieldNode, StoreFieldNode, LoadStaticNode,
+                         StoreStaticNode, LoadIndexedNode,
+                         StoreIndexedNode, ArrayLengthNode,
+                         NewInstanceNode, NewArrayNode, BeginNode,
+                         MonitorEnterNode, MonitorExitNode)
+
+#: Bound on the straight-line walk between enter and exit; keeps the
+#: phase linear on pathological graphs.
+_ELISION_WALK_LIMIT = 64
+
+
+class ConnGraphLockElisionPhase(Phase):
+    """Lock elision for the connection-graph tier.
+
+    Monitors on allocations the connection graph proves non-escaping
+    are thread-local, so the enter/exit pair is a no-op.  Without PEA's
+    virtual objects there is no lock-depth rematerialization on deopt,
+    so only *straight-line, deopt-free* pairs are elided: the walk from
+    ``monitorenter`` along ``next`` must reach the matching
+    ``monitorexit`` through side-effect-only nodes (no guards, no
+    deopts, no calls, no control flow).
+    """
+
+    name = "conngraph-lock-elision"
+
+    def __init__(self, program: Program, summaries=None):
+        self.program = program
+        self.summaries = summaries
+        #: :class:`repro.pea.partial_escape.PEAResult` of the last run.
+        self.last_result = None
+
+    def run(self, graph: Graph) -> bool:
+        # Imported lazily: repro.pea imports repro.analysis (the
+        # summaries/diagnostics modules) during package init.
+        from ..pea.partial_escape import PEAResult
+        approved = ConnectionGraph(graph, self.program,
+                                   summaries=self.summaries).analyze()
+        removed_pairs = 0
+        if approved:
+            for enter in [n for n in graph.nodes()
+                          if isinstance(n, MonitorEnterNode)]:
+                if enter.object not in approved:
+                    continue
+                exit_node = self._straight_line_exit(enter)
+                if exit_node is None:
+                    continue
+                graph.remove_fixed(exit_node)
+                graph.remove_fixed(enter)
+                removed_pairs += 1
+        if removed_pairs:
+            graph.verify()
+        self.last_result = PEAResult(
+            removed_monitor_pairs=removed_pairs)
+        return removed_pairs > 0
+
+    @staticmethod
+    def _straight_line_exit(enter: MonitorEnterNode
+                            ) -> Optional[MonitorExitNode]:
+        depth = 0
+        node = enter.next
+        for _ in range(_ELISION_WALK_LIMIT):
+            if node is None:
+                return None
+            if isinstance(node, MonitorEnterNode) and \
+                    node.object is enter.object:
+                depth += 1
+            elif isinstance(node, MonitorExitNode) and \
+                    node.object is enter.object:
+                if depth == 0:
+                    return node
+                depth -= 1
+            if not isinstance(node, _ELISION_SAFE_BETWEEN):
+                return None
+            if not isinstance(node, FixedWithNextNode):
+                return None
+            node = node.next
+        return None

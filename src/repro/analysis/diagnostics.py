@@ -388,7 +388,8 @@ def analyze_program(program: Program,
 
     report = AnalysisReport(findings=lint_program(program))
     if config is None:
-        config = CompilerConfig.partial_escape(escape_summaries=True)
+        config = CompilerConfig.partial_escape(
+            escape_tier="pea+summaries")
     compiler = Compiler(program, config, profile=None)
     for method in sorted(program.all_methods(),
                          key=lambda m: m.qualified_name):

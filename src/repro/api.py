@@ -32,14 +32,17 @@ from typing import Any, Optional, Union
 
 from .bytecode.classfile import Program
 from .bytecode.heap import HeapStats
-from .jit import (CompilationCache, CompilationResult, CompileService,
-                  CompilerConfig, EscapeAnalysisKind, ServiceClient, VM,
-                  VMListener, default_cache_dir)
+from .jit import (AutoTierPolicy, CompilationCache, CompilationResult,
+                  CompileService, CompilerConfig, EscapeAnalysisKind,
+                  ServiceClient, TierRequest, TierSpec, VM, VMListener,
+                  default_cache_dir)
 from .lang import compile_source
+from .runtime.gcsim import GCSim, GCStats
 
-__all__ = ["CompilationCache", "CompilationResult", "CompileService",
-           "CompiledProgram", "CompilerConfig", "EscapeAnalysisKind",
-           "ServiceClient", "VM", "VMListener", "compile",
+__all__ = ["AutoTierPolicy", "CompilationCache", "CompilationResult",
+           "CompileService", "CompiledProgram", "CompilerConfig",
+           "EscapeAnalysisKind", "GCSim", "GCStats", "ServiceClient",
+           "TierRequest", "TierSpec", "VM", "VMListener", "compile",
            "compile_source", "default_cache_dir", "run"]
 
 
@@ -74,6 +77,13 @@ class CompiledProgram:
 
     def heap_stats(self) -> HeapStats:
         return self.vm.heap_snapshot()
+
+    def gc_stats(self) -> GCStats:
+        """Cumulative simulated-collector counters (minor collections,
+        pause cycles, promoted bytes — see
+        :class:`repro.runtime.gcsim.GCStats`).  Per-collection events
+        arrive through :meth:`VMListener.on_gc`."""
+        return self.vm.gc_snapshot()
 
     def add_listener(self, listener: VMListener) -> VMListener:
         """Register a typed :class:`VMListener` on the VM."""

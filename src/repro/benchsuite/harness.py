@@ -104,6 +104,16 @@ class Measurement:
     #: Excluded from equality like the other observability fields.
     latency_p95_cycles: float = field(default=0.0, compare=False)
     latency_p99_cycles: float = field(default=0.0, compare=False)
+    #: Simulated-collector behavior over the measured window
+    #: (per-iteration averages; see :mod:`repro.runtime.gcsim`).  The
+    #: pause cycles are *also* folded into ``cycles_per_iteration`` —
+    #: these fields break them out so a configuration that trades
+    #: allocation for collection work is visible.  compare=False: the
+    #: collector is driven entirely by the allocation stream, so these
+    #: are observability over facts the compared metrics already pin.
+    gc_minor_collections: float = field(default=0.0, compare=False)
+    gc_pause_cycles: float = field(default=0.0, compare=False)
+    gc_promoted_kb: float = field(default=0.0, compare=False)
 
     @property
     def iterations_per_minute(self) -> float:
@@ -172,7 +182,8 @@ def _progress_cycles(vm: VM) -> float:
     accumulation into differently-ordered additions can move the last
     bit of ``cycles_per_iteration`` — which is byte-diffed in CI."""
     pending = vm.interpreter.stats.steps - vm._interpreter_steps_counted
-    return vm.exec_stats.cycles + \
+    pending_gc = vm.heap.gc.stats.pause_cycles - vm._gc_pause_cycles_counted
+    return vm.exec_stats.cycles + pending_gc + \
         pending * vm.config.cost_model.interpreter_step
 
 
@@ -307,12 +318,22 @@ def run_workload(workload: Workload, config: CompilerConfig,
     vm.finish_pending_compiles()
     warmup_tick = _vm_tick(vm)
     deopts_before_measure = vm.exec_stats.deopts
+    # Collector barrier (the simulated System.gc()): drain the nursery
+    # so the measured window starts from an empty young generation.
+    # Without this, warm-up elision would change *measured* GC timing —
+    # a cold run enters measurement with whatever nursery fill N
+    # warm-up iterations left behind, a warm run with one iteration's
+    # worth — and the first measured collection would land on a
+    # different allocation.  Stats stay cumulative/monotone, so the
+    # VM's pause-cycle sync bookkeeping remains valid.
+    vm.heap.gc.collect_remaining()
     # Fold pending interpreter cycles, then measure from a zeroed
     # counter: float summation from 0.0 is exact across replays, where
     # a snapshot delta would suffer accumulation-order rounding.
     vm.cycles_snapshot()
     vm.exec_stats.cycles = 0.0
     heap_before = vm.heap_snapshot()
+    gc_before = vm.gc_snapshot()
     latencies = []
     cycles_before = _progress_cycles(vm)
     for _ in range(workload.measure_iterations):
@@ -322,6 +343,7 @@ def run_workload(workload: Workload, config: CompilerConfig,
         latencies.append(cycles_now - cycles_before)
         cycles_before = cycles_now
     heap_delta = vm.heap_snapshot().delta(heap_before)
+    gc_delta = vm.gc_snapshot().delta(gc_before)
     cycles = vm.cycles_snapshot()
 
     if cache is not None and elided == 0 and record is not None and \
@@ -365,6 +387,9 @@ def run_workload(workload: Workload, config: CompilerConfig,
         deopts_measured=vm.exec_stats.deopts - deopts_before_measure,
         latency_p95_cycles=percentile(latencies, 95.0),
         latency_p99_cycles=percentile(latencies, 99.0),
+        gc_minor_collections=gc_delta.minor_collections / iterations,
+        gc_pause_cycles=gc_delta.pause_cycles / iterations,
+        gc_promoted_kb=gc_delta.promoted_bytes / iterations / 1024.0,
     )
 
 

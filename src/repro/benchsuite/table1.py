@@ -141,20 +141,22 @@ def generate(suites: Sequence[str], quick: bool = False,
         analysis_ab = _analysis_ab(results, backend=backend,
                                    cache=cache, osr=osr)
         codegen_ab = _codegen_ab(results, osr=osr)
+        gc_ab = _gc_ab(results, backend=backend, cache=cache, osr=osr)
         _write_json(json_path, results, wall_clock, jobs, backend, quick,
-                    cache, osr, analysis_ab, codegen_ab, fleet)
+                    cache, osr, analysis_ab, codegen_ab, fleet, gc_ab)
     return results
 
 
 def _analysis_ab(results: dict, backend: str,
                  cache: Optional[CompilationCache], osr: bool) -> dict:
     """Per-workload A/B of the interprocedural escape-summary analysis:
-    re-run every workload with ``escape_summaries=True`` and record the
-    deltas against the plain-PEA measurement.  Results, locks and
+    re-run every workload under ``escape_tier="pea+summaries"`` and
+    record the deltas against the plain-PEA measurement.  Results, locks and
     deopts must be bit-identical — the analysis may only remove
     allocations (see :mod:`repro.analysis.summaries`)."""
     config = CompilerConfig.partial_escape(
-        execution_backend=backend, osr=osr, escape_summaries=True)
+        execution_backend=backend, osr=osr,
+        escape_tier="pea+summaries")
     section = {}
     for comparisons in results.values():
         for c in comparisons:
@@ -175,6 +177,62 @@ def _analysis_ab(results: dict, backend: str,
                     summ.monitor_ops_per_iteration
                     == pea.monitor_ops_per_iteration,
                 "deopts_identical": summ.deopts == pea.deopts,
+            }
+    return section
+
+
+#: The three escape tiers the GC A/B compares.  The PEA arm stacks the
+#: connection graph on top (``+cgstack``) so allocations PEA leaves
+#: behind but the cheaper analysis can prove non-escaping still leave
+#: the heap — that is what keeps the arms totally ordered.
+_GC_AB_TIERS = (("none", "none"),
+                ("conngraph", "conngraph"),
+                ("pea", "pea+summaries+cgstack"))
+
+
+def _gc_ab(results: dict, backend: str,
+           cache: Optional[CompilationCache], osr: bool) -> dict:
+    """Three-way escape-tier A/B through the simulated generational
+    collector: every workload runs under no escape analysis, the
+    connection-graph fast tier, and full PEA, and the section records
+    how allocation behavior translates into collector behavior (minor
+    collections, pause cycles, promotion).  Checksums must be identical
+    — tiers change *where* objects live, never what the program
+    computes — and per-iteration allocations must be totally ordered
+    ``pea <= conngraph <= none`` (PEA subsumes the connection graph's
+    decisions; see :mod:`repro.analysis.conngraph`)."""
+    section = {}
+    for comparisons in results.values():
+        for c in comparisons:
+            arms = {}
+            for arm, tier in _GC_AB_TIERS:
+                config = CompilerConfig(
+                    escape_tier=tier, execution_backend=backend, osr=osr)
+                m = run_workload(c.workload, config, cache=cache)
+                arms[arm] = {
+                    "tier": tier,
+                    "checksum": m.checksum,
+                    "allocations_per_iteration":
+                        m.allocations_per_iteration,
+                    "kb_per_iteration": m.kb_per_iteration,
+                    "gc_minor_collections": m.gc_minor_collections,
+                    "gc_pause_cycles": m.gc_pause_cycles,
+                    "gc_promoted_kb": m.gc_promoted_kb,
+                    "cycles_per_iteration": m.cycles_per_iteration,
+                }
+            none_, cg, pea = arms["none"], arms["conngraph"], arms["pea"]
+            section[c.workload.name] = {
+                **arms,
+                "checksums_identical":
+                    none_["checksum"] == cg["checksum"] == pea["checksum"],
+                "allocations_ordered":
+                    pea["allocations_per_iteration"]
+                    <= cg["allocations_per_iteration"]
+                    <= none_["allocations_per_iteration"],
+                "pause_cycles_saved_conngraph": round(
+                    none_["gc_pause_cycles"] - cg["gc_pause_cycles"], 6),
+                "pause_cycles_saved_pea": round(
+                    none_["gc_pause_cycles"] - pea["gc_pause_cycles"], 6),
             }
     return section
 
@@ -334,7 +392,8 @@ def _write_json(path: str, results: dict, wall_clock: dict, jobs: int,
                 osr: bool = True,
                 analysis_ab: Optional[dict] = None,
                 codegen_ab: Optional[dict] = None,
-                fleet: Optional[dict] = None) -> None:
+                fleet: Optional[dict] = None,
+                gc_ab: Optional[dict] = None) -> None:
     """Benchmark metrics for CI tracking (BENCH_table1.json).
 
     ``suites`` holds only deterministic, simulated metrics — identical
@@ -416,6 +475,12 @@ def _write_json(path: str, results: dict, wall_clock: dict, jobs: int,
         }
     if codegen_ab is not None:
         payload["timing"]["codegen_ab"] = codegen_ab
+    if gc_ab is not None:
+        # Escape-tier x generational-collector A/B (see _gc_ab).  The
+        # metrics inside are simulated and deterministic; the section
+        # lives under ``timing`` because its headline claim — pause
+        # cycles saved per tier — is a performance claim.
+        payload["timing"]["gc_ab"] = gc_ab
     if fleet is not None:
         # Compile-service fleet benchmark (see benchsuite.fleet):
         # wall-clock/latency numbers are machine-dependent, but

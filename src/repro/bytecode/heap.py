@@ -123,14 +123,24 @@ class HeapStats:
 class Heap:
     """Allocator + monitor bookkeeping shared by all execution engines.
 
-    There is no garbage collector: Python's GC reclaims unreachable
-    objects, and the cost model charges an amortized GC cost per
-    allocated byte instead (see :mod:`repro.runtime.costmodel`).
+    Python's GC reclaims the actual unreachable objects; GC *pressure*
+    is simulated by the generational collector in
+    :mod:`repro.runtime.gcsim`, which every heap (non-stack) allocation
+    feeds through :meth:`GCSim.on_allocate`.  Because the bytecode
+    interpreter and all three compiled backends allocate through this
+    one class, minor-collection counts and pause cycles are
+    bit-identical across backends.
     """
 
-    def __init__(self, program: Program):
+    def __init__(self, program: Program, gc=None):
         self.program = program
         self.stats = HeapStats()
+        if gc is None:
+            # Imported lazily: repro.runtime pulls in the IR package,
+            # which in turn imports this module.
+            from ..runtime.gcsim import GCSim
+            gc = GCSim()
+        self.gc = gc
         self._next_id = 1
 
     # -- allocation -----------------------------------------------------
@@ -148,6 +158,7 @@ class Heap:
         else:
             self.stats.allocations += 1
             self.stats.allocated_bytes += size
+            self.gc.on_allocate(size)
         return obj
 
     def new_array(self, elem_type: str, length: int,
@@ -163,6 +174,7 @@ class Heap:
         else:
             self.stats.allocations += 1
             self.stats.allocated_bytes += size
+            self.gc.on_allocate(size)
         return arr
 
     # -- field access -----------------------------------------------------

@@ -42,16 +42,23 @@ from .ir import dump_graph, to_dot
 from .jit import Compiler
 
 def _pea_with_summaries(**kwargs):
-    return CompilerConfig.partial_escape(escape_summaries=True,
-                                         **kwargs)
+    kwargs.setdefault("escape_tier", "pea+summaries")
+    return CompilerConfig(**kwargs)
+
+
+def _auto_tier(**kwargs):
+    kwargs.setdefault("escape_tier", "auto")
+    return CompilerConfig(**kwargs)
 
 
 CONFIGS = {
     "interp": None,
     "no-ea": CompilerConfig.no_ea,
     "equi": CompilerConfig.equi_escape,
+    "conngraph": CompilerConfig.conngraph,
     "pea": CompilerConfig.partial_escape,
     "summaries": _pea_with_summaries,
+    "auto": _auto_tier,
 }
 
 
@@ -86,10 +93,12 @@ def cmd_run(args) -> int:
     program = _load(args.file)
     call_args = [int(a) for a in args.args]
     vm = None
+    gc_stats = None
     if args.config == "interp":
         interp = Interpreter(program)
         result = interp.call(args.entry, *call_args)
         stats = interp.heap.stats
+        gc_stats = interp.heap.gc.stats
         cycles = ""
     else:
         cache = _make_cache(args)
@@ -104,9 +113,11 @@ def cmd_run(args) -> int:
         prog.warm_up(args.entry, *call_args, calls=args.warmup)
         vm = prog.vm
         heap_before = prog.heap_stats()
+        gc_before = prog.gc_stats()
         cycles_before = vm.cycles_snapshot()
         result = prog.run(args.entry, *call_args)
         stats = prog.heap_stats().delta(heap_before)
+        gc_stats = prog.gc_stats().delta(gc_before)
         cycles = f"  cycles={vm.cycles_snapshot() - cycles_before:,.0f}"
         if vm.osr_entries:
             cycles += f"  osr={vm.osr_entries}"
@@ -118,6 +129,11 @@ def cmd_run(args) -> int:
           f"bytes={stats.allocated_bytes}  "
           f"monitors={stats.monitor_enters}/{stats.monitor_exits}"
           f"{cycles}")
+    if getattr(args, "gc_stats", False) and gc_stats is not None:
+        print(f"gc: minor_collections={gc_stats.minor_collections}  "
+              f"pause_cycles={gc_stats.pause_cycles}  "
+              f"promoted_kb={gc_stats.promoted_bytes / 1024:.1f}  "
+              f"copied_kb={gc_stats.copied_bytes / 1024:.1f}")
     if getattr(args, "profile", False) and vm is not None:
         d = vm.deoptless.snapshot()
         print(f"profile: deopts={vm.exec_stats.deopts}  "
@@ -345,6 +361,11 @@ def main(argv=None) -> int:
     run_parser.add_argument("--profile", action="store_true",
                             help="print deopt/continuation/dispatch "
                                  "counters after the measured call")
+    run_parser.add_argument("--gc-stats", action="store_true",
+                            help="print simulated-collector counters "
+                                 "(minor collections, pause cycles, "
+                                 "promoted bytes) for the measured "
+                                 "call")
     run_parser.add_argument("--service", metavar="HOST:PORT",
                             help="tier up through this compile service "
                                  "(background compilation; falls back "

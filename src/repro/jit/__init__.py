@@ -4,11 +4,13 @@ from .cache import CacheStats, CompilationCache, default_cache_dir
 from .client import CompileReply, ServiceClient
 from .compiler import CompilationResult, Compiler
 from .listeners import VMListener
-from .options import CompilerConfig, EscapeAnalysisKind
+from .options import (AutoTierPolicy, CompilerConfig,
+                      EscapeAnalysisKind, TierRequest, TierSpec)
 from .server import CompileService
 from .vm import VM
 
-__all__ = ["CacheStats", "CompilationCache", "CompilationResult",
-           "CompileReply", "CompileService", "Compiler",
-           "CompilerConfig", "EscapeAnalysisKind", "ServiceClient",
-           "VM", "VMListener", "default_cache_dir"]
+__all__ = ["AutoTierPolicy", "CacheStats", "CompilationCache",
+           "CompilationResult", "CompileReply", "CompileService",
+           "Compiler", "CompilerConfig", "EscapeAnalysisKind",
+           "ServiceClient", "TierRequest", "TierSpec", "VM",
+           "VMListener", "default_cache_dir"]

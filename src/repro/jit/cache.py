@@ -78,7 +78,13 @@ from .options import CompilerConfig
 #: descriptor ``("cont", bci, stack_depth, context)`` — specialized
 #: continuation variants are cached per dispatch context — and Graph
 #: payloads carry ``entry_stack_depth``.
-CACHE_FORMAT = 6
+#: 7: the escape knobs collapsed into the ``escape_tier`` policy: the
+#: pipeline fingerprint hashes the policy descriptor (replacing the
+#: ``escape_analysis``/``stack_allocation``/``escape_summaries``
+#: dimensions) and compilation keys gained the per-method *resolved*
+#: tier token, so a policy that tiers methods differently over time
+#: never serves an artifact across tiers.
+CACHE_FORMAT = 7
 
 
 def default_cache_dir() -> str:
@@ -106,15 +112,22 @@ def _digest(description: Any) -> str:
 _PIPELINE_FIELDS = (
     "inline", "canonicalize", "gvn", "speculate_branches",
     "speculation_min_samples", "speculate_types", "pea_iterations",
-    "read_elimination", "conditional_elimination", "stack_allocation",
-    "pea_virtualize_arrays", "pea_fold_checks", "escape_summaries",
+    "read_elimination", "conditional_elimination",
+    "pea_virtualize_arrays", "pea_fold_checks",
 )
 
 
 def pipeline_fingerprint(config: CompilerConfig) -> str:
     """Hash of every configuration knob that can change the optimized
-    graph a compilation produces."""
-    description = [("escape_analysis", config.escape_analysis.value)]
+    graph a compilation produces.
+
+    The escape tier enters twice: the *policy* descriptor here (so two
+    configs with different policies never share a namespace), and the
+    per-method *resolved* tier token in each compilation key (so one
+    ``"auto"`` policy resolving a method differently over time — cold
+    conngraph now, hot PEA later — never serves an artifact across
+    tiers)."""
+    description = [("escape_tier", config.tier_descriptor())]
     description.extend((name, getattr(config, name))
                        for name in _PIPELINE_FIELDS)
     policy = config.inlining_policy
@@ -427,37 +440,50 @@ class CompilationCache:
     @staticmethod
     def compilation_key(program: Program, method: JMethod,
                         config: CompilerConfig, profiled: bool,
-                        entry_bci=None) -> str:
+                        entry_bci=None, tier: Optional[str] = None
+                        ) -> str:
         """*entry_bci* distinguishes on-stack-replacement variants (one
         per loop header) from the normal method-entry compilation
         (``None``) — they are different graphs of the same method.  It
         may also be a deoptless continuation descriptor
         ``("cont", bci, stack_depth, context)``: the dispatch context is
         part of the key, so specialized continuation variants of one
-        deopt site cache independently."""
+        deopt site cache independently.
+
+        *tier* is the **resolved** escape-tier token this compilation
+        runs under (``Compiler.resolve_tier_for``); ``None`` resolves a
+        static tier from the config.  Keying on the resolution — not
+        just the policy — is what guarantees no entry is ever served
+        across ``escape_tier`` values."""
+        if tier is None:
+            spec = config.static_tier_spec()
+            tier = spec.token() if spec is not None else "?"
         return _digest((CACHE_FORMAT, program.content_fingerprint(),
                         method.qualified_name,
                         pipeline_fingerprint(config), profiled,
-                        entry_bci))
+                        entry_bci, tier))
 
     # -- lookup/store -------------------------------------------------------
 
     def lookup(self, program: Program, method: JMethod,
                config: CompilerConfig, profile: Optional[Profile],
-               entry_bci: Optional[int] = None
+               entry_bci: Optional[int] = None,
+               tier: Optional[str] = None
                ) -> Optional[CachedCompilation]:
         started = time.perf_counter()
         try:
             with self._lock:
                 return self._lookup_locked(program, method, config,
-                                           profile, entry_bci)
+                                           profile, entry_bci, tier)
         finally:
             self.stats.lookup_seconds += time.perf_counter() - started
 
     def _lookup_locked(self, program, method, config, profile,
-                       entry_bci) -> Optional[CachedCompilation]:
+                       entry_bci, tier=None
+                       ) -> Optional[CachedCompilation]:
             key = self.compilation_key(program, method, config,
-                                       profile is not None, entry_bci)
+                                       profile is not None, entry_bci,
+                                       tier)
             entries = self._entries(key)
             saw_candidate = False
             for entry in entries:
@@ -485,11 +511,13 @@ class CompilationCache:
               facts: Tuple[tuple, ...], graph: Graph, ea_result: Any,
               node_count: int, plan_order: Any,
               entry_bci: Optional[int] = None,
-              codegen: Any = None) -> Optional[CacheEntry]:
+              codegen: Any = None,
+              tier: Optional[str] = None) -> Optional[CacheEntry]:
         started = time.perf_counter()
         try:
             key = self.compilation_key(program, method, config,
-                                       profile is not None, entry_bci)
+                                       profile is not None, entry_bci,
+                                       tier)
             try:
                 blob = dump_graph_payload(
                     {"graph": graph, "ea_result": ea_result,

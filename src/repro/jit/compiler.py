@@ -35,7 +35,7 @@ from ..runtime.plan import ExecutionPlan, PlanError
 from .cache import (CacheEntry, CompilationCache, RecordingProfile,
                     load_graph_payload)
 from .deoptless import is_continuation_entry
-from .options import CompilerConfig, EscapeAnalysisKind
+from .options import CompilerConfig, TierSpec
 
 
 @dataclass
@@ -83,6 +83,26 @@ class Compiler:
         self.cache_hit_count = 0
         self.compile_seconds_total = 0.0
         self.phase_seconds: Dict[str, float] = {}
+        #: Pending jobs on the compile-service queue, fed to the
+        #: escape-tier policy (0 for in-process compilation; the
+        #: service sets it per job so a busy fleet degrades hot methods
+        #: to the cheap tier instead of queueing PEA work).
+        self.service_queue_depth = 0
+
+    def resolve_tier_for(self, method: JMethod) -> TierSpec:
+        """Evaluate the per-method escape-tier policy.
+
+        Reads hotness from the *live* profile (never through a
+        :class:`RecordingProfile` — an exact invocation-count fact
+        would almost never revalidate and would kill caching).  Cache
+        safety comes from keying every artifact with the resolved tier
+        token instead.
+        """
+        hotness = (self.profile.invocation_count(method)
+                   if self.profile is not None else 0)
+        return self.config.resolve_tier(
+            method.qualified_name, len(method.code), hotness,
+            queue_depth=self.service_queue_depth)
 
     def compile(self, method: JMethod,
                 osr_bci=None) -> CompilationResult:
@@ -103,10 +123,12 @@ class Compiler:
     def _compile(self, method: JMethod,
                  osr_bci=None) -> CompilationResult:
         config = self.config
+        tier = self.resolve_tier_for(method)
 
         if self.cache is not None:
             cached = self.cache.lookup(self.program, method, config,
-                                       self.profile, entry_bci=osr_bci)
+                                       self.profile, entry_bci=osr_bci,
+                                       tier=tier.token())
             if cached is not None:
                 codegen_plan = self._codegen_from_payload(
                     cached.graph, cached.codegen, method, osr_bci)
@@ -162,19 +184,25 @@ class Compiler:
         plan.append(DeadCodeEliminationPhase())
 
         summary_view = None
-        if config.escape_summaries:
+        if tier.summaries:
             from ..analysis.summaries import SummaryView, summaries_for
             summary_view = SummaryView(summaries_for(self.program))
 
         ea_phase = None
-        if config.escape_analysis is EscapeAnalysisKind.PARTIAL:
+        if tier.base == "pea":
             ea_phase = PartialEscapePhase(
                 self.program, config.pea_iterations,
                 virtualize_arrays=config.pea_virtualize_arrays,
                 fold_virtual_checks=config.pea_fold_checks,
                 summaries=summary_view)
-        elif config.escape_analysis is EscapeAnalysisKind.EQUI_ESCAPE:
+        elif tier.base == "equi":
             ea_phase = EquiEscapePhase(self.program)
+        elif tier.base == "conngraph":
+            # The cheap tier: no PEA — straight-line lock elision now,
+            # connection-graph stack allocation below.
+            from ..analysis.conngraph import ConnGraphLockElisionPhase
+            ea_phase = ConnGraphLockElisionPhase(
+                self.program, summaries=summary_view)
         if ea_phase is not None:
             plan.append(ea_phase)
             if config.canonicalize:
@@ -186,7 +214,12 @@ class Compiler:
             from ..opt.read_elimination import ReadEliminationPhase
             plan.append(ReadEliminationPhase())
             plan.append(DeadCodeEliminationPhase())
-        if config.stack_allocation:
+        if tier.stack_analysis == "conngraph":
+            from ..opt.stack_allocation import StackAllocationPhase
+            plan.append(StackAllocationPhase(self.program,
+                                             summaries=summary_view,
+                                             analysis="conngraph"))
+        elif tier.stack_analysis == "equi":
             from ..opt.stack_allocation import StackAllocationPhase
             plan.append(StackAllocationPhase(self.program))
         elif summary_view is not None:
@@ -242,7 +275,8 @@ class Compiler:
             entry = self.cache.store(
                 self.program, method, config, self.profile, facts,
                 graph, ea_result, graph.node_count(), plan_order,
-                entry_bci=osr_bci, codegen=codegen_payload)
+                entry_bci=osr_bci, codegen=codegen_payload,
+                tier=tier.token())
         return CompilationResult(graph, ea_result, graph.node_count(),
                                  execution_plan, cache_entry=entry,
                                  codegen=codegen_plan, facts=facts)

@@ -53,3 +53,11 @@ class VMListener:
         point with *context*.  ``hit=True`` means execution transferred
         into a matching continuation variant; ``hit=False`` means no
         variant matched (yet) and the interpreter bridged this deopt."""
+
+    def on_gc(self, minor: int, pause_cycles: int,
+              promoted_bytes: int) -> None:
+        """The simulated generational collector
+        (:mod:`repro.runtime.gcsim`) ran minor collection number
+        *minor* (cumulative count for this VM), pausing the simulated
+        machine for *pause_cycles* and promoting *promoted_bytes* to
+        the old generation."""

@@ -1,12 +1,42 @@
 """Compiler/VM configuration — the evaluation's configurations map to
-these flags (no EA / equi-escape EA / Partial Escape Analysis)."""
+these flags (no EA / equi-escape EA / connection-graph tier / Partial
+Escape Analysis).
+
+Since ISSUE 9 the escape-related knobs are unified behind one policy:
+``CompilerConfig.escape_tier``.  A tier is either a *token* string —
+
+``"none"``
+    no escape analysis at all;
+``"equi"``
+    the union-find equi-escape baseline (Section 6.2 comparator);
+``"conngraph"``
+    the cheap connection-graph tier: directed escape-graph
+    reachability (:mod:`repro.analysis.conngraph`) feeding stack
+    allocation and straight-line lock elision, with interprocedural
+    summaries at call sites — no PEA;
+``"pea"``
+    the paper's Partial Escape Analysis (optionally
+    ``"pea+summaries"``, ``"pea+stack"``, ``"pea+cgstack"`` …);
+``"auto"``
+    per-method selection by :data:`AUTO_TIER_POLICY` (hot small
+    methods get PEA, everything else the connection graph)
+
+— or a callable *policy* receiving a :class:`TierRequest` (method
+name, bytecode size, hotness from the profile, compile-service queue
+depth) and returning a token or :class:`TierSpec` per method.
+
+The pre-ISSUE-9 booleans (``escape_analysis``, ``escape_summaries``,
+``stack_allocation``) survive as deprecation shims that map onto the
+policy and warn once per knob.
+"""
 
 from __future__ import annotations
 
 import enum
 import os
+import warnings
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional, Union
 
 from ..opt.inlining import InliningPolicy
 from ..runtime.costmodel import CostModel
@@ -20,16 +50,174 @@ def _default_verify_ir() -> bool:
 
 
 class EscapeAnalysisKind(enum.Enum):
+    """Legacy escape-analysis selector.
+
+    Deprecated since ISSUE 9 in favor of ``CompilerConfig.escape_tier``;
+    kept so existing ``CompilerConfig(escape_analysis=...)`` call sites
+    keep working through the shim.
+    """
+
     NONE = "none"
     EQUI_ESCAPE = "equi-escape"  # flow-insensitive baseline (Section 6.2)
     PARTIAL = "partial"  # the paper's contribution
+
+
+#: Escape-tier bases, cheapest first.
+TIER_BASES = ("none", "equi", "conngraph", "pea")
+
+_KIND_TO_BASE = {
+    EscapeAnalysisKind.NONE: "none",
+    EscapeAnalysisKind.EQUI_ESCAPE: "equi",
+    EscapeAnalysisKind.PARTIAL: "pea",
+}
+_BASE_TO_KIND = {base: kind for kind, base in _KIND_TO_BASE.items()}
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """A fully resolved escape tier for one compilation.
+
+    ``base`` selects the analysis machinery; ``summaries`` enables the
+    interprocedural escape summaries at call sites; ``stack_analysis``
+    (``None`` / ``"equi"`` / ``"conngraph"``) selects which analysis, if
+    any, drives :class:`repro.opt.stack_allocation.StackAllocationPhase`.
+    The ``conngraph`` base always implies summaries and
+    connection-graph-driven stack allocation — that *is* the tier.
+    """
+
+    base: str = "pea"
+    summaries: bool = False
+    stack_analysis: Optional[str] = None
+
+    def __post_init__(self):
+        if self.base not in TIER_BASES:
+            raise ValueError(f"unknown escape tier base {self.base!r}")
+        if self.stack_analysis not in (None, "equi", "conngraph"):
+            raise ValueError(
+                f"unknown stack analysis {self.stack_analysis!r}")
+        if self.base == "conngraph" and (
+                not self.summaries or self.stack_analysis != "conngraph"):
+            object.__setattr__(self, "summaries", True)
+            object.__setattr__(self, "stack_analysis", "conngraph")
+
+    def token(self) -> str:
+        """Canonical string form, parseable by :meth:`parse`."""
+        if self.base == "conngraph":
+            return "conngraph"
+        parts = [self.base]
+        if self.summaries:
+            parts.append("summaries")
+        if self.stack_analysis == "equi":
+            parts.append("stack")
+        elif self.stack_analysis == "conngraph":
+            parts.append("cgstack")
+        return "+".join(parts)
+
+    @classmethod
+    def parse(cls, token: Union[str, "TierSpec"]) -> "TierSpec":
+        if isinstance(token, TierSpec):
+            return token
+        parts = token.split("+")
+        base = parts[0]
+        if base not in TIER_BASES:
+            raise ValueError(
+                f"unknown escape tier {token!r} "
+                f"(bases: {', '.join(TIER_BASES)})")
+        summaries = False
+        stack_analysis = None
+        for flag in parts[1:]:
+            if flag == "summaries":
+                summaries = True
+            elif flag == "stack":
+                stack_analysis = "equi"
+            elif flag == "cgstack":
+                stack_analysis = "conngraph"
+            else:
+                raise ValueError(
+                    f"unknown escape tier flag {flag!r} in {token!r}")
+        return cls(base, summaries, stack_analysis)
+
+
+@dataclass(frozen=True)
+class TierRequest:
+    """What a :data:`TierPolicy` gets to look at for one method."""
+
+    method_name: str
+    #: Bytecode instruction count of the method.
+    method_size: int
+    #: Invocation count observed by the profile at compile time.
+    hotness: int
+    #: Pending jobs on the compile-service queue (0 for in-process
+    #: compilation) — a busy fleet should prefer the cheap tier.
+    queue_depth: int = 0
+
+
+#: A tier policy maps a per-method request to a tier token or spec.
+TierPolicy = Callable[[TierRequest], Union[str, TierSpec]]
+
+
+@dataclass(frozen=True)
+class AutoTierPolicy:
+    """The built-in ``"auto"`` policy.
+
+    Hot, reasonably sized methods get the precise tier (PEA +
+    summaries); cold or oversized methods — and any method compiled
+    while the service queue is deep — get the cheap connection-graph
+    tier.  The thresholds are deliberately simple; the point of the
+    policy *object* is that users can swap in their own.
+    """
+
+    #: Invocation count at which a method counts as hot (2x the default
+    #: compile threshold: the second compilation opportunity).
+    hot_invocations: int = 40
+    #: Methods with more bytecodes than this never get PEA.
+    large_method_size: int = 300
+    #: Service queue depth at which everything degrades to the cheap
+    #: tier.
+    busy_queue_depth: int = 4
+
+    def __call__(self, request: TierRequest) -> str:
+        if request.queue_depth >= self.busy_queue_depth:
+            return "conngraph"
+        if request.method_size > self.large_method_size:
+            return "conngraph"
+        if request.hotness >= self.hot_invocations:
+            return "pea+summaries"
+        return "conngraph"
+
+    def fingerprint(self):
+        return ("auto", self.hot_invocations, self.large_method_size,
+                self.busy_queue_depth)
+
+
+AUTO_TIER_POLICY = AutoTierPolicy()
+
+
+_DEPRECATION_WARNED = set()
+
+
+def _warn_deprecated(knob: str, replacement: str):
+    if knob in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(knob)
+    warnings.warn(
+        f"CompilerConfig.{knob} is deprecated; use "
+        f"CompilerConfig.escape_tier={replacement} instead",
+        DeprecationWarning, stacklevel=4)
 
 
 @dataclass
 class CompilerConfig:
     """One VM configuration."""
 
-    escape_analysis: EscapeAnalysisKind = EscapeAnalysisKind.PARTIAL
+    #: The escape-tier policy: a token string (``"none"``, ``"equi"``,
+    #: ``"conngraph"``, ``"pea"``, ``"pea+summaries"``, ...), a
+    #: :class:`TierSpec`, ``"auto"``, or a :data:`TierPolicy` callable
+    #: evaluated per method.  See the module docstring.
+    escape_tier: Union[str, TierSpec, TierPolicy] = "pea"
+    #: Deprecated (ISSUE 9): use ``escape_tier``.  Maps NONE/EQUI_ESCAPE/
+    #: PARTIAL onto the tier base.
+    escape_analysis: Optional[EscapeAnalysisKind] = None
     inline: bool = True
     inlining_policy: InliningPolicy = field(default_factory=InliningPolicy)
     canonicalize: bool = True
@@ -82,21 +270,13 @@ class CompilerConfig:
     read_elimination: bool = True
     #: Dominance-based folding of redundant conditions/guards.
     conditional_elimination: bool = True
-    #: Flag surviving non-escaping allocations for stack/zone
-    #: allocation (Section 3's other EA consumer).  Off by default so
-    #: heap statistics stay comparable with the paper's configurations.
-    stack_allocation: bool = False
+    #: Deprecated (ISSUE 9): use ``escape_tier="...+stack"``.
+    stack_allocation: Optional[bool] = None
     #: Ablation knobs for the analysis itself.
     pea_virtualize_arrays: bool = True
     pea_fold_checks: bool = True
-    #: Consult interprocedural escape summaries
-    #: (:mod:`repro.analysis.summaries`) at Invoke sites: a virtual
-    #: object passed to a summarized non-escaping callee is not
-    #: materialized (it is passed as a stack-allocated borrow, or as
-    #: null when the callee never touches the parameter), and the
-    #: stack-allocation sets become summary-aware.  Part of the
-    #: compilation-cache pipeline key.
-    escape_summaries: bool = False
+    #: Deprecated (ISSUE 9): use ``escape_tier="...+summaries"``.
+    escape_summaries: Optional[bool] = None
     #: Run the full :class:`repro.verify.GraphVerifier` invariant suite
     #: after every phase of every compilation (SSA dominance, CFG
     #: shape, frame-state completeness, PEA invariants).  Defaults to
@@ -136,22 +316,137 @@ class CompilerConfig:
     collect_node_histogram: bool = False
     cost_model: CostModel = field(default_factory=CostModel)
 
+    def __post_init__(self):
+        self._merge_legacy_knobs()
+
+    # -- escape-tier policy -------------------------------------------------
+
+    def _merge_legacy_knobs(self):
+        """Fold the deprecated escape booleans into ``escape_tier``."""
+        legacy_used = (self.escape_analysis is not None
+                       or self.escape_summaries is not None
+                       or self.stack_allocation is not None)
+        if not legacy_used:
+            return
+        if not isinstance(self.escape_tier, (str, TierSpec)) or \
+                self.escape_tier == "auto":
+            raise ValueError(
+                "legacy escape knobs (escape_analysis/escape_summaries/"
+                "stack_allocation) cannot be combined with a tier "
+                "policy; encode the choice in the policy instead")
+        spec = TierSpec.parse(self.escape_tier)
+        if self.escape_analysis is not None:
+            _warn_deprecated(
+                "escape_analysis",
+                f'"{_KIND_TO_BASE[self.escape_analysis]}"')
+            spec = TierSpec(_KIND_TO_BASE[self.escape_analysis],
+                            spec.summaries, spec.stack_analysis)
+        if self.escape_summaries is not None:
+            _warn_deprecated("escape_summaries",
+                             f'"{spec.base}+summaries"')
+            spec = TierSpec(spec.base, bool(self.escape_summaries),
+                            spec.stack_analysis)
+        if self.stack_allocation is not None:
+            _warn_deprecated("stack_allocation", f'"{spec.base}+stack"')
+            stack = "equi" if self.stack_allocation else None
+            spec = TierSpec(spec.base, spec.summaries, stack)
+        self.escape_tier = spec.token()
+        # Keep the legacy mirrors consistent for anything that still
+        # reads them (they are no longer consulted by the compiler).
+        self.escape_analysis = _BASE_TO_KIND.get(spec.base)
+        self.escape_summaries = spec.summaries
+        self.stack_allocation = spec.stack_analysis is not None
+
+    def tier_policy(self) -> TierPolicy:
+        """The per-method policy behind ``escape_tier``."""
+        tier = self.escape_tier
+        if tier == "auto":
+            return AUTO_TIER_POLICY
+        if isinstance(tier, TierSpec):
+            spec = tier
+            return lambda request: spec
+        if isinstance(tier, str):
+            spec = TierSpec.parse(tier)
+            return lambda request: spec
+        if callable(tier):
+            return tier
+        raise ValueError(f"invalid escape_tier {tier!r}")
+
+    def resolve_tier(self, method_name: str, method_size: int,
+                     hotness: int, queue_depth: int = 0) -> TierSpec:
+        """The tier one concrete compilation runs under."""
+        request = TierRequest(method_name=method_name,
+                              method_size=method_size, hotness=hotness,
+                              queue_depth=queue_depth)
+        return TierSpec.parse(self.tier_policy()(request))
+
+    def tier_descriptor(self):
+        """Stable, hashable description of the tier *policy* for the
+        pipeline fingerprint.  Per-method resolutions additionally key
+        the compilation cache with the resolved token, so two policies
+        sharing a descriptor could only cross-contaminate if they also
+        resolved identically — in which case the artifacts coincide.
+        """
+        tier = self.escape_tier
+        if isinstance(tier, TierSpec):
+            return tier.token()
+        if isinstance(tier, str):
+            if tier == "auto":
+                return AUTO_TIER_POLICY.fingerprint()
+            return TierSpec.parse(tier).token()
+        fingerprint = getattr(tier, "fingerprint", None)
+        if callable(fingerprint):
+            value = fingerprint()
+            return value if isinstance(value, str) else tuple(value)
+        return f"{getattr(tier, '__module__', '?')}." \
+               f"{getattr(tier, '__qualname__', repr(tier))}"
+
+    def is_static_tier(self) -> bool:
+        """True when every method compiles under the same tier."""
+        return isinstance(self.escape_tier, TierSpec) or (
+            isinstance(self.escape_tier, str)
+            and self.escape_tier != "auto")
+
+    def static_tier_spec(self) -> Optional[TierSpec]:
+        if not self.is_static_tier():
+            return None
+        return TierSpec.parse(self.escape_tier)
+
+    # -- canned configurations ----------------------------------------------
+
     @classmethod
     def no_ea(cls, **kwargs) -> "CompilerConfig":
-        return cls(escape_analysis=EscapeAnalysisKind.NONE, **kwargs)
+        kwargs.setdefault("escape_tier", "none")
+        return cls(**kwargs)
 
     @classmethod
     def equi_escape(cls, **kwargs) -> "CompilerConfig":
-        return cls(escape_analysis=EscapeAnalysisKind.EQUI_ESCAPE,
-                   **kwargs)
+        kwargs.setdefault("escape_tier", "equi")
+        return cls(**kwargs)
+
+    @classmethod
+    def conngraph(cls, **kwargs) -> "CompilerConfig":
+        kwargs.setdefault("escape_tier", "conngraph")
+        return cls(**kwargs)
 
     @classmethod
     def partial_escape(cls, **kwargs) -> "CompilerConfig":
-        return cls(escape_analysis=EscapeAnalysisKind.PARTIAL, **kwargs)
+        kwargs.setdefault("escape_tier", "pea")
+        return cls(**kwargs)
 
     def label(self) -> str:
+        tier = self.escape_tier
+        if isinstance(tier, TierSpec):
+            base = tier.base
+        elif isinstance(tier, str):
+            if tier == "auto":
+                return "tiered EA (auto)"
+            base = TierSpec.parse(tier).base
+        else:
+            return "tiered EA (policy)"
         return {
-            EscapeAnalysisKind.NONE: "without EA",
-            EscapeAnalysisKind.EQUI_ESCAPE: "equi-escape EA",
-            EscapeAnalysisKind.PARTIAL: "with PEA",
-        }[self.escape_analysis]
+            "none": "without EA",
+            "equi": "equi-escape EA",
+            "conngraph": "conn-graph EA",
+            "pea": "with PEA",
+        }[base]

@@ -235,6 +235,11 @@ class _Job:
     entry_bci: Optional[int]
     config: CompilerConfig
     profile_snapshot: Optional[dict]
+    #: Queue depth observed when the request was keyed; the worker's
+    #: compiler re-resolves the escape tier with the same depth so the
+    #: stored artifact lands under the dedup key even for depth-aware
+    #: tier policies.
+    queue_depth: int = 0
     waiters: List[Tuple[_ClientConn, int]] = field(default_factory=list)
     done: bool = False
 
@@ -428,8 +433,18 @@ class CompileService:
                            f"{type(exc).__name__}: {exc}"))
                 self.stats.compile_errors += 1
                 return
+            # Resolve the escape tier exactly as the worker's compiler
+            # will (same profile snapshot, same queue depth) so the
+            # dedup key matches the key the artifact is stored under.
+            queue_depth = self._queue.qsize()
+            hotness = (profile.invocation_count(method)
+                       if profile is not None else 0)
+            tier = config.resolve_tier(
+                qualified, len(method.code), hotness,
+                queue_depth=queue_depth).token()
             key = CompilationCache.compilation_key(
-                program, method, config, profile is not None, entry_bci)
+                program, method, config, profile is not None, entry_bci,
+                tier)
             job = self._inflight.get(key)
             if job is not None and not job.done:
                 job.waiters.append((conn, rid))
@@ -443,7 +458,8 @@ class CompileService:
                            entry.facts, entry.meta))
                 return
             job = _Job(key, fingerprint, qualified, entry_bci, config,
-                       snapshot, waiters=[(conn, rid)])
+                       snapshot, queue_depth=queue_depth,
+                       waiters=[(conn, rid)])
             self._inflight[key] = job
             self._queue.put(job)
             self.stats.queue_depth_max = max(
@@ -484,6 +500,7 @@ class CompileService:
             profile.restore(program, job.profile_snapshot)
         compiler = Compiler(program, job.config, profile,
                             cache=self.cache)
+        compiler.service_queue_depth = job.queue_depth
         try:
             result = compiler.compile(method, osr_bci=job.entry_bci)
         except Exception as exc:  # noqa: BLE001 - compile failure

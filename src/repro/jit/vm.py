@@ -64,7 +64,10 @@ class VM:
         self.program = program
         self.config = config
         self.cache = cache
-        self.heap = Heap(program)
+        from ..runtime.gcsim import GCSim
+        self.heap = Heap(program,
+                         gc=GCSim.from_cost_model(config.cost_model))
+        self.heap.gc.on_collection = self._handle_gc
         self.profile = Profile()
         self.interpreter = Interpreter(program, self.heap, self.profile)
         self.interpreter.dispatcher = self.call_method
@@ -97,6 +100,11 @@ class VM:
         #: Completed OSR transfers (observability; not a suite metric).
         self.osr_entries = 0
         self._interpreter_steps_counted = 0
+        #: GC pause cycles already folded into ``exec_stats.cycles``
+        #: (mirror of the interpreter-steps pattern above: the
+        #: simulated collector accumulates pauses in its own stats and
+        #: the VM syncs the delta in at snapshot points).
+        self._gc_pause_cycles_counted = 0
         self.deopt_counts: Dict[JMethod, int] = {}
         self.invalidations = 0
         #: Per-method deopt epoch: bumped on every deopt, compared
@@ -215,8 +223,13 @@ class VM:
     def heap_snapshot(self) -> HeapStats:
         return self.heap.stats.copy()
 
+    def gc_snapshot(self):
+        """Cumulative :class:`repro.runtime.gcsim.GCStats` copy."""
+        return self.heap.gc.stats.copy()
+
     def cycles_snapshot(self) -> float:
         self._sync_interpreter_cycles()
+        self._sync_gc_cycles()
         return self.exec_stats.cycles
 
     # -- tiers -------------------------------------------------------------------
@@ -911,6 +924,21 @@ class VM:
             self.exec_stats.interpreter_steps += new_steps
             self.exec_stats.cycles += (
                 new_steps * self.config.cost_model.interpreter_step)
+
+    def _sync_gc_cycles(self):
+        """Fold minor-collection pauses accumulated by the simulated
+        collector into the cycle total (single integer-valued addition
+        per sync point, so the float total stays deterministic across
+        backends)."""
+        pauses = self.heap.gc.stats.pause_cycles
+        new_pauses = pauses - self._gc_pause_cycles_counted
+        if new_pauses:
+            self._gc_pause_cycles_counted = pauses
+            self.exec_stats.cycles += new_pauses
+
+    def _handle_gc(self, minor: int, pause_cycles: int,
+                   promoted_bytes: int) -> None:
+        self._emit("on_gc", minor, pause_cycles, promoted_bytes)
 
     def _handle_deopt(self, root_method: JMethod, state) -> None:
         """Invalidate code that keeps deoptimizing; the next compilation

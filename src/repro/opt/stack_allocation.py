@@ -9,11 +9,18 @@ that survived PEA (e.g. phi-merged objects that had to materialize) but
 still provably never escape the method get flagged ``stack_allocated``.
 
 The runtime then serves them from the simulated stack/zone: they are
-counted separately (``HeapStats.stack_allocations``) and charged the
+counted separately (``HeapStats.stack_allocations``), never enter the
+simulated GC nursery (:mod:`repro.runtime.gcsim`), and are charged the
 much cheaper non-GC allocation cost.
 
-Off by default (``CompilerConfig.stack_allocation``) so Table 1's heap
-numbers stay comparable with the paper's configurations.
+Who runs this phase is owned by the escape-tier policy
+(``CompilerConfig.escape_tier``, ISSUE 9): the ``conngraph`` tier runs
+it with the connection-graph analysis as its *primary* optimization,
+the ``pea`` tier runs it after PEA (summary-marginal mode when escape
+summaries are enabled), and the ``none``/``equi`` tiers do not run it
+— so Table 1's heap numbers stay comparable with the paper's
+configurations.  The legacy ``CompilerConfig.stack_allocation`` boolean
+survives only as a deprecation shim onto that policy.
 """
 
 from __future__ import annotations
@@ -29,7 +36,7 @@ class StackAllocationPhase(Phase):
     name = "stack-allocation"
 
     def __init__(self, program: Program, summaries=None,
-                 marginal_only: bool = False):
+                 marginal_only: bool = False, analysis: str = "equi"):
         self.program = program
         #: Optional interprocedural escape summaries
         #: (:class:`repro.analysis.summaries.SummaryView`): invoke
@@ -42,14 +49,29 @@ class StackAllocationPhase(Phase):
         #: plain-approved allocations must stay on the heap in both
         #: arms.
         self.marginal_only = marginal_only
+        #: Which escape analysis approves allocations: ``"equi"``
+        #: (union-find equi-escape sets) or ``"conngraph"`` (the
+        #: directed connection graph — at least as precise, still
+        #: cheap; the analysis the ``conngraph`` tier feeds through
+        #: here).
+        if analysis not in ("equi", "conngraph"):
+            raise ValueError(f"unknown stack-allocation analysis "
+                             f"{analysis!r}")
+        self.analysis = analysis
         self.flagged = 0
 
+    def _approved(self, graph: Graph, summaries):
+        if self.analysis == "conngraph":
+            from ..analysis.conngraph import ConnectionGraph
+            return ConnectionGraph(graph, self.program,
+                                   summaries=summaries).analyze()
+        return EquiEscapeSets(graph, self.program,
+                              summaries=summaries).analyze()
+
     def run(self, graph: Graph) -> bool:
-        approved = EquiEscapeSets(graph, self.program,
-                                  summaries=self.summaries).analyze()
+        approved = self._approved(graph, self.summaries)
         if self.marginal_only and self.summaries is not None:
-            plain = EquiEscapeSets(graph, self.program).analyze()
-            approved = approved - plain
+            approved = approved - self._approved(graph, None)
         changed = False
         for node in graph.nodes_of(NewInstanceNode, NewArrayNode):
             if node in approved and not getattr(node, "stack_allocated",

@@ -27,7 +27,8 @@ from ..bytecode.classfile import Program
 from ..ir.graph import Graph
 from ..ir.node import Node
 from ..ir.nodes import (ArrayLengthNode, ConstantNode, DeoptimizeNode,
-                        FixedGuardNode, FrameStateNode, IfNode,
+                        EscapeObjectStateNode, FixedGuardNode,
+                        FrameStateNode, IfNode,
                         InstanceOfNode, InvokeNode, IsNullNode,
                         LoadFieldNode, LoadIndexedNode, MergeNode,
                         MonitorEnterNode, MonitorExitNode, NewArrayNode,
@@ -91,9 +92,13 @@ class EquiEscapeSets:
     # -- the analysis ---------------------------------------------------------
 
     #: Node types whose *reference* inputs do not make an object escape.
+    #: ``EscapeObjectStateNode`` is a frame-state appendage (the deopt
+    #: snapshot of a still-virtual PEA object) — safe for the same
+    #: reason the frame state itself is.
     _SAFE_USERS = (LoadFieldNode, ArrayLengthNode, RefEqualsNode,
                    IsNullNode, InstanceOfNode, MonitorEnterNode,
-                   MonitorExitNode, FrameStateNode, FixedGuardNode,
+                   MonitorExitNode, FrameStateNode,
+                   EscapeObjectStateNode, FixedGuardNode,
                    IfNode, DeoptimizeNode, LoadIndexedNode)
 
     def analyze(self) -> Set[Node]:

@@ -27,7 +27,7 @@ class PEAResult:
     materializations: int = 0
     removed_monitor_pairs: int = 0
     applied_effects: int = 0
-    #: Summary-guided invoke decisions (escape_summaries only).
+    #: Summary-guided invoke decisions (summary-enabled tiers only).
     nulled_args: int = 0
     borrowed_args: int = 0
     #: Escape-site attribution

@@ -2,9 +2,12 @@
 
 "Iterations per minute" in Table 1 becomes *simulated cycles per
 iteration* here: every executed IR node and every interpreted bytecode is
-charged a cycle cost, allocations are charged a base cost plus an
-amortized GC cost per byte, and compiled code is charged an
-instruction-cache penalty that grows with machine-code size.  The i-cache
+charged a cycle cost, allocations are charged a base cost plus a
+zeroing cost per byte, GC pressure is charged by the simulated
+generational collector in :mod:`repro.runtime.gcsim` (nursery bump
+allocation, minor-collection pauses proportional to copied bytes), and
+compiled code is charged an instruction-cache penalty that grows with
+machine-code size.  The i-cache
 penalty is what reproduces the paper's jython observation: "Partial Escape
 Analysis can in rare cases increase the size of compiled methods, which
 has a negative influence on this benchmark."
@@ -39,8 +42,11 @@ class CostModel:
     interpreter_step: int = 20
     #: Allocation: fixed path cost (TLAB bump, header init).
     alloc_base: int = 24
-    #: Amortized GC + zeroing cost per allocated byte.
-    alloc_per_byte: float = 1.0
+    #: Zeroing/initialization cost per allocated byte.  GC pressure is
+    #: no longer amortized here — it is charged as minor-collection
+    #: pauses by the generational collector simulation (see the gc_*
+    #: knobs below and :mod:`repro.runtime.gcsim`).
+    alloc_per_byte: float = 0.25
     #: Monitor enter/exit (biased-lock fast path).
     monitor_op: int = 16
     #: Call overhead of a non-inlined invoke (frame setup, dispatch).
@@ -57,6 +63,21 @@ class CostModel:
     memory_access: int = 2
     guard: int = 1
     control: int = 0
+
+    #: Simulated generational collector (see ``repro.runtime.gcsim``):
+    #: nursery capacity in bytes; a minor collection runs whenever bump
+    #: allocation fills it.
+    gc_nursery_bytes: int = 16 * 1024
+    #: 1/gc_survivor_divisor of the collected bytes is assumed live and
+    #: copied to the survivor space.
+    gc_survivor_divisor: int = 8
+    #: Survivors are re-copied this many times before promotion to the
+    #: old generation.
+    gc_tenure_age: int = 3
+    #: Fixed pause cost of a minor collection (root scan, bookkeeping).
+    gc_pause_base: int = 400
+    #: Pause cycles per byte copied during a minor collection.
+    gc_copy_per_byte: int = 2
 
     def node_cost(self, node: Node) -> int:
         """Execution cost of one IR node (allocation byte costs are added

@@ -9,17 +9,25 @@ One fuzz iteration:
    :class:`~repro.verify.verifier.GraphVerifier` running after every
    phase; collect *coverage keys* (IR node kinds in the final graph,
    PEA statistic buckets, plan-lowering fallback).
-3. Run the same warm-up + probe call sequence under six engines —
+3. Run the same warm-up + probe call sequence under seven engines —
    the reference bytecode interpreter, the legacy
    :class:`GraphInterpreter` backend, the threaded-code plan backend,
    the generated-Python codegen backend, the plan backend with
-   interprocedural escape summaries (``escape_summaries=True``), and
-   the plan backend with deoptless continuation dispatch
+   interprocedural escape summaries (``escape_tier="pea+summaries"``),
+   the plan backend under the connection-graph fast tier
+   (``escape_tier="conngraph"`` — no PEA; flow-insensitive escape
+   analysis drives stack allocation and lock elision instead), and the
+   plan backend with deoptless continuation dispatch
    (``deoptless=True``) — and compare per-call return values,
    heap allocation counts, monitor balance, deopt counts and the final
    static object graph (the rematerialized escape state).  The
    summary and deoptless engines must match the plan engine on every
-   observable and may only *lower* the allocation count.
+   observable and may only *lower* the allocation count.  The
+   conngraph engine compiles *different* code (no virtualization, so
+   deopt schedules and elided monitor pairs legitimately diverge from
+   the PEA engines); it is held to the reference invariants — identical
+   results and statics, balanced monitors, allocations bounded by the
+   interpreter's.
 4. Programs that exercise new coverage are queued for mutation; a
    mismatch or verifier failure is delta-debugged down to a minimal
    reproducer (:mod:`repro.verify.shrink`) and persisted to the
@@ -198,7 +206,7 @@ def run_engine_interpreter(make_program: Callable[[], object],
 def run_engine_vm(make_program: Callable[[], object], backend: str,
                   probes=PROBE_CALLS,
                   cache: Optional[CompilationCache] = None,
-                  escape_summaries: bool = False,
+                  escape_tier: str = "pea",
                   service_address: Optional[str] = None,
                   deoptless: bool = False) -> EngineOutcome:
     program = make_program()
@@ -218,7 +226,7 @@ def run_engine_vm(make_program: Callable[[], object], backend: str,
         compile_threshold=3, osr_threshold=25,
         speculation_min_samples=3,
         execution_backend=backend,
-        escape_summaries=escape_summaries,
+        escape_tier=escape_tier,
         compile_service=service_address,
         compile_service_wait=service_address is not None,
         deoptless=deoptless)
@@ -304,6 +312,12 @@ def compare_outcomes(outcomes: Dict[str, EngineOutcome]
                     f"{summaries.allocations} > baseline "
                     f"{plan.allocations} — summaries must never add "
                     "heap allocations")
+    # The conngraph engine needs no section of its own: it compiles
+    # genuinely different code (no virtualization), so deopt schedules,
+    # elided monitor pairs and allocation counts all legitimately
+    # diverge from the PEA engines.  The reference loop above already
+    # pins everything it must satisfy — identical results and statics,
+    # balanced monitors, allocations bounded by the interpreter's.
     deoptless = outcomes.get("deoptless")
     if deoptless is not None:
         # Deoptless replaces interpreted deopt bridges with compiled
@@ -407,7 +421,10 @@ def check_source(source: str,
                 p, "codegen", cache=cache,
                 service_address=service_address)),
             ("summaries", lambda p: run_engine_vm(
-                p, "plan", cache=cache, escape_summaries=True,
+                p, "plan", cache=cache, escape_tier="pea+summaries",
+                service_address=service_address)),
+            ("conngraph", lambda p: run_engine_vm(
+                p, "plan", cache=cache, escape_tier="conngraph",
                 service_address=service_address)),
             ("deoptless", lambda p: run_engine_vm(
                 p, "plan", cache=cache, deoptless=True,
@@ -482,7 +499,7 @@ def save_corpus_entry(corpus_dir: str, name: str,
 def replay_corpus_entry(jasm_path: str,
                         cache: Optional[CompilationCache] = None
                         ) -> Optional[Tuple[str, str]]:
-    """Re-run one persisted reproducer under all six engines and
+    """Re-run one persisted reproducer under all seven engines and
     check it against its recorded expectations.  Returns ``None`` when
     everything still agrees, else ``(category, detail)``."""
     from ..bytecode.asmtext import assemble
@@ -503,7 +520,10 @@ def replay_corpus_entry(jasm_path: str,
         "codegen": run_engine_vm(make_program, "codegen", probes,
                                  cache=cache),
         "summaries": run_engine_vm(make_program, "plan", probes,
-                                   cache=cache, escape_summaries=True),
+                                   cache=cache,
+                                   escape_tier="pea+summaries"),
+        "conngraph": run_engine_vm(make_program, "plan", probes,
+                                   cache=cache, escape_tier="conngraph"),
         "deoptless": run_engine_vm(make_program, "plan", probes,
                                    cache=cache, deoptless=True),
     }

@@ -75,9 +75,15 @@ def test_cycles_accumulate_per_engine():
 def test_config_labels():
     assert CompilerConfig.no_ea().label() == "without EA"
     assert CompilerConfig.equi_escape().label() == "equi-escape EA"
+    assert CompilerConfig.conngraph().label() == "conn-graph EA"
     assert CompilerConfig.partial_escape().label() == "with PEA"
-    assert CompilerConfig.no_ea().escape_analysis is \
-        EscapeAnalysisKind.NONE
+    assert CompilerConfig.no_ea().escape_tier == "none"
+    # The legacy enum still resolves through the deprecation shim.
+    from repro.jit import options as jit_options
+    jit_options._DEPRECATION_WARNED.clear()  # warning is once-per-knob
+    with pytest.warns(DeprecationWarning):
+        shimmed = CompilerConfig(escape_analysis=EscapeAnalysisKind.NONE)
+    assert shimmed.escape_tier == "none"
 
 
 def test_native_dispatch_through_vm():

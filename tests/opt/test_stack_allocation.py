@@ -25,10 +25,9 @@ PHI_MERGED = """
 """
 
 
-def run_vm(stack_allocation):
+def run_vm(escape_tier):
     program = compile_source(PHI_MERGED)
-    config = CompilerConfig.partial_escape(
-        stack_allocation=stack_allocation)
+    config = CompilerConfig.partial_escape(escape_tier=escape_tier)
     vm = VM(program, config)
     for _ in range(30):
         vm.call("C.run", 20)
@@ -38,8 +37,8 @@ def run_vm(stack_allocation):
 
 
 def test_phi_merged_allocations_move_to_the_stack():
-    result_off, stats_off, __ = run_vm(stack_allocation=False)
-    result_on, stats_on, __ = run_vm(stack_allocation=True)
+    result_off, stats_off, __ = run_vm("pea")
+    result_on, stats_on, __ = run_vm("pea+stack")
     assert result_on == result_off
     # PEA alone cannot remove the phi-merged Box...
     assert stats_off.allocations == 100
@@ -51,9 +50,20 @@ def test_phi_merged_allocations_move_to_the_stack():
         stats_off.allocated_bytes
 
 
+def test_conngraph_stack_allocation_matches_equi():
+    # The connection-graph analysis drives the same phase through
+    # ``+cgstack``; on this corpus it must approve at least the
+    # phi-merged Box the equi-escape analysis approves.
+    result_off, stats_off, __ = run_vm("pea")
+    result_cg, stats_cg, __ = run_vm("pea+cgstack")
+    assert result_cg == result_off
+    assert stats_cg.allocations == 0
+    assert stats_cg.stack_allocations == 100
+
+
 def test_stack_allocation_is_cheaper():
-    __, __, vm_off = run_vm(stack_allocation=False)
-    __, __, vm_on = run_vm(stack_allocation=True)
+    __, __, vm_off = run_vm("pea")
+    __, __, vm_on = run_vm("pea+stack")
     # Fresh cycle measurement on identical final calls:
     def cycles(vm):
         before = vm.cycles_snapshot()
@@ -77,7 +87,7 @@ def test_escaping_objects_stay_on_heap():
     """
     program = compile_source(source)
     vm = VM(program, CompilerConfig.partial_escape(
-        stack_allocation=True))
+        escape_tier="pea+stack"))
     for _ in range(30):
         vm.call("C.m", 5)
     before = vm.heap_snapshot()
@@ -90,4 +100,13 @@ def test_escaping_objects_stay_on_heap():
 
 def test_off_by_default():
     config = CompilerConfig.partial_escape()
-    assert config.stack_allocation is False
+    assert config.static_tier_spec().stack_analysis is None
+
+
+def test_legacy_boolean_still_works_via_shim():
+    from repro.jit import options as jit_options
+    jit_options._DEPRECATION_WARNED.clear()  # warning is once-per-knob
+    with pytest.warns(DeprecationWarning):
+        config = CompilerConfig.partial_escape(stack_allocation=True)
+    assert config.escape_tier == "pea+stack"
+    assert config.stack_allocation is True
